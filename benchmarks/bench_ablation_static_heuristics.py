@@ -1,0 +1,55 @@
+"""Ablation: the static estimator's loop-priority heuristics (§4.1).
+
+Compares the full modified-DFS estimator against a plain DFS (no
+loop-priority path selection, no loop-exit deferral) by the quality of
+the resulting interleaved transfer.
+"""
+
+from repro.core import run_nonstrict, strict_baseline
+from repro.harness import BENCHMARK_NAMES, bundle
+from repro.harness.results import ResultTable
+from repro.reorder import estimate_first_use
+from repro.transfer import MODEM_LINK
+
+
+def heuristics_table() -> ResultTable:
+    table = ResultTable(
+        key="ablation_heuristics",
+        title=(
+            "Ablation: static estimator heuristics (normalized time, "
+            "interleaved, modem)"
+        ),
+        columns=["Program", "Modified DFS (paper)", "Plain DFS"],
+    )
+    for name in BENCHMARK_NAMES:
+        item = bundle(name)
+        workload = item.workload
+        base = strict_baseline(
+            workload.program, workload.test_trace, MODEM_LINK, workload.cpi
+        )
+        plain = estimate_first_use(
+            workload.program, loop_priority=False
+        )
+        cells = []
+        for order in (item.scg, plain):
+            result = run_nonstrict(
+                workload.program,
+                workload.test_trace,
+                order,
+                MODEM_LINK,
+                workload.cpi,
+                method="interleaved",
+            )
+            cells.append(result.normalized_to(base.total_cycles))
+        table.add_row(name, *cells)
+    table.add_average_row()
+    return table
+
+
+def test_heuristics_do_not_hurt_on_average(benchmark, show):
+    table = benchmark.pedantic(heuristics_table, rounds=1, iterations=1)
+    show(table)
+    modified = table.cell("AVG", "Modified DFS (paper)")
+    plain = table.cell("AVG", "Plain DFS")
+    # The heuristics should at worst match plain DFS on average.
+    assert modified <= plain + 1.0

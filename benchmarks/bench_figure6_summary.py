@@ -1,0 +1,20 @@
+"""F6: regenerate Figure 6 (summary bars of normalized time)."""
+
+from repro.harness import figure6_summary
+
+
+def test_figure6_summary(benchmark, show):
+    table = benchmark.pedantic(figure6_summary, rounds=1, iterations=1)
+    show(table)
+    interleaved_dp = table.row_for("IFC Data Partitioned")
+    parallel = table.row_for("Parallel File Transfer")
+    # The best configuration at least matches plain parallel transfer
+    # everywhere (the paper's gap favours it more strongly; in our
+    # model parallel's demand-fetch correction closes most of it).
+    for index in range(1, len(table.columns)):
+        assert interleaved_dp[index] <= parallel[index] + 2.0
+    # Headline: a 25-40% average reduction in execution time.
+    best = min(
+        interleaved_dp[index] for index in range(1, len(table.columns))
+    )
+    assert best < 72

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrates (throughput, not paper tables)."""
+
+from repro.bytecode import assemble, decode, encode
+from repro.classfile import deserialize, serialize
+from repro.reorder import estimate_first_use
+from repro.transfer import NetworkLink, StreamEngine, TransferUnit, UnitKind
+from repro.vm import VirtualMachine
+from repro.workloads import fibonacci_program
+from repro.workloads.synthetic import generate_workload
+
+
+def test_vm_dispatch_rate(benchmark):
+    program = fibonacci_program(16)
+
+    def run():
+        return VirtualMachine(program).run().instructions_executed
+
+    instructions = benchmark(run)
+    assert instructions > 10_000
+
+
+def test_serializer_roundtrip_throughput(benchmark):
+    classfile = generate_workload("JHLZip").program.classes[0]
+    image = serialize(classfile)
+
+    def roundtrip():
+        return serialize(deserialize(image))
+
+    assert benchmark(roundtrip) == image
+
+
+def test_bytecode_codec_throughput(benchmark):
+    instructions = assemble(
+        "\n".join(["iconst 7", "pop"] * 500 + ["return"])
+    )
+
+    def codec():
+        return decode(encode(instructions))
+
+    assert benchmark(codec) == instructions
+
+
+def test_static_estimator_runtime(benchmark):
+    program = generate_workload("JHLZip").program
+
+    def estimate():
+        return len(estimate_first_use(program))
+
+    assert benchmark(estimate) == program.method_count
+
+
+def test_stream_engine_event_rate(benchmark):
+    link = NetworkLink("bench", 1.0)
+    units = [
+        TransferUnit(
+            kind=UnitKind.GLOBAL_DATA, class_name=f"c{i}", size=10
+        )
+        for i in range(2000)
+    ]
+
+    def run():
+        engine = StreamEngine(link)
+        engine.request_stream("s", units)
+        engine.run_until(1e9)
+        return len(engine.arrival_times)
+
+    assert benchmark(run) == 2000

@@ -1,0 +1,18 @@
+"""E10: regenerate Table 10 (global data partitioning)."""
+
+from repro.harness import table10_data_partitioning, table7_interleaved
+
+
+def test_table10_data_partitioning(benchmark, show):
+    table = benchmark.pedantic(
+        table10_data_partitioning, rounds=1, iterations=1
+    )
+    show(table)
+    # Partitioning improves interleaved transfer versus Table 7.
+    plain = table7_interleaved()
+    assert table.cell("AVG", "Intl modem Test") <= (
+        plain.cell("AVG", "modem Test") + 0.5
+    )
+    assert table.cell("AVG", "Intl T1 Test") <= (
+        plain.cell("AVG", "T1 Test") + 0.5
+    )

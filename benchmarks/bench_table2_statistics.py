@@ -1,0 +1,15 @@
+"""E2: regenerate Table 2 (benchmark statistics)."""
+
+from repro.harness import BENCHMARK_NAMES, table2_statistics
+
+
+def test_table2_statistics(benchmark, show):
+    table = benchmark.pedantic(
+        table2_statistics, rounds=1, iterations=1
+    )
+    show(table)
+    assert table.column("Program") == list(BENCHMARK_NAMES)
+    # Headline statistics transcribed from the paper hold exactly.
+    assert table.cell("Jess", "Total Files") == 97
+    assert table.cell("BIT", "Total Methods") == 643
+    assert table.cell("TestDes", "Instrs/Method") > 100

@@ -1,0 +1,14 @@
+"""E3: regenerate Table 3 (base case: CPI, transfer/exec cycles)."""
+
+from repro.harness import table3_base_case
+
+
+def test_table3_base_case(benchmark, show):
+    table = benchmark.pedantic(table3_base_case, rounds=1, iterations=1)
+    show(table)
+    # Paper: transfer is ~51% of strict time on T1 and ~89% on the
+    # modem, averaged over the suite.
+    assert 40 <= table.cell("AVG", "T1 % Transfer") <= 62
+    assert 85 <= table.cell("AVG", "Modem % Transfer") <= 100
+    # Per-program CPI comes straight from the paper.
+    assert table.cell("Hanoi", "CPI") == 3830

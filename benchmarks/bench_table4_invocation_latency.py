@@ -1,0 +1,20 @@
+"""E4: regenerate Table 4 (invocation latency)."""
+
+from repro.harness import BENCHMARK_NAMES, table4_invocation_latency
+
+
+def test_table4_invocation_latency(benchmark, show):
+    table = benchmark.pedantic(
+        table4_invocation_latency, rounds=1, iterations=1
+    )
+    show(table)
+    # Paper: non-strict cuts invocation latency 31-56% on average;
+    # data partitioning cuts it further still.
+    assert 25 <= table.cell("AVG", "T1 NS %dec") <= 75
+    assert table.cell("AVG", "T1 DP %dec") > table.cell(
+        "AVG", "T1 NS %dec"
+    )
+    for name in BENCHMARK_NAMES:
+        assert table.cell(name, "T1 NonStrict") <= table.cell(
+            name, "T1 Strict"
+        )

@@ -1,0 +1,19 @@
+"""E5: regenerate Table 5 (parallel file transfer, T1)."""
+
+from repro.harness import table5_parallel_t1
+
+
+def test_table5_parallel_t1(benchmark, show):
+    table = benchmark.pedantic(
+        table5_parallel_t1, rounds=1, iterations=1
+    )
+    show(table)
+    # Ordering quality: Test <= Train <= SCG on average (limit four).
+    assert table.cell("AVG", "Test Four") <= (
+        table.cell("AVG", "Train Four") + 0.5
+    )
+    assert table.cell("AVG", "Train Four") <= (
+        table.cell("AVG", "SCG Four") + 0.5
+    )
+    # Everything improves on strict execution.
+    assert table.cell("AVG", "Test Four") < 95

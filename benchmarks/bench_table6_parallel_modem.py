@@ -1,0 +1,15 @@
+"""E6: regenerate Table 6 (parallel file transfer, modem)."""
+
+from repro.harness import table6_parallel_modem
+
+
+def test_table6_parallel_modem(benchmark, show):
+    table = benchmark.pedantic(
+        table6_parallel_modem, rounds=1, iterations=1
+    )
+    show(table)
+    assert table.cell("AVG", "Test Four") <= (
+        table.cell("AVG", "Train Four") + 0.5
+    )
+    # Modem gains are larger than T1 gains (compare with Table 5 runs).
+    assert table.cell("AVG", "Test Four") < 80

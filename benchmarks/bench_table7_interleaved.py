@@ -1,0 +1,14 @@
+"""E7: regenerate Table 7 (interleaved file transfer)."""
+
+from repro.harness import table7_interleaved
+
+
+def test_table7_interleaved(benchmark, show):
+    table = benchmark.pedantic(
+        table7_interleaved, rounds=1, iterations=1
+    )
+    show(table)
+    assert table.cell("AVG", "T1 Test") <= (
+        table.cell("AVG", "T1 SCG") + 0.5
+    )
+    assert table.cell("AVG", "modem Test") < table.cell("AVG", "T1 Test")

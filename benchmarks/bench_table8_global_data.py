@@ -1,0 +1,15 @@
+"""E8: regenerate Table 8 (global data / constant pool breakdown)."""
+
+from repro.harness import table8_global_data
+
+
+def test_table8_global_data(benchmark, show):
+    table = benchmark.pedantic(
+        table8_global_data, rounds=1, iterations=1
+    )
+    show(table)
+    # Paper: the constant pool dominates global data (avg 93.6%), and
+    # Utf8 strings dominate the pool; TestDes is the integer outlier.
+    assert table.cell("AVG", "CPool") > 80
+    assert table.cell("AVG", "Utf8") > 40
+    assert table.cell("TestDes", "Ints") > 30

@@ -1,0 +1,20 @@
+"""E9: regenerate Table 9 (local/global split; global by first use)."""
+
+from repro.harness import BENCHMARK_NAMES, table9_data_breakdown
+from repro.workloads.spec import benchmark_spec
+
+
+def test_table9_data_breakdown(benchmark, show):
+    table = benchmark.pedantic(
+        table9_data_breakdown, rounds=1, iterations=1
+    )
+    show(table)
+    for name in BENCHMARK_NAMES:
+        spec = benchmark_spec(name)
+        assert abs(
+            table.cell(name, "% Needed First")
+            - spec.percent_globals_needed_first
+        ) <= 6
+        assert abs(
+            table.cell(name, "% Unused") - spec.percent_globals_unused
+        ) <= 6

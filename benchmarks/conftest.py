@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one of the paper's tables or figures (or an
+ablation) and prints the rows the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def show():
+    """Print a ResultTable outside pytest's capture."""
+
+    def _show(table):
+        import sys
+
+        sys.stderr.write("\n" + table.render() + "\n")
+        return table
+
+    return _show

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Define a custom workload spec and evaluate non-strict execution on it.
+
+Shows how to use the library beyond the paper's six benchmarks: write a
+:class:`~repro.BenchmarkSpec` for your own mobile program profile,
+generate a calibrated workload, and sweep link speeds to find where
+non-strict execution pays off.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    BenchmarkSpec,
+    estimate_first_use,
+    link_from_bandwidth,
+    run_nonstrict,
+    strict_baseline,
+)
+from repro.workloads.synthetic import paper_workload
+
+# A hypothetical 2026-style mobile module: lots of classes, moderate
+# code, half of it never touched by a typical session.
+SPEC = BenchmarkSpec(
+    name="ChatPlugin",
+    description="hypothetical chat client plugin",
+    kind="application",
+    total_files=24,
+    size_kb=180,
+    dynamic_instructions_test=1_500_000,
+    dynamic_instructions_train=400_000,
+    static_instructions=12_000,
+    percent_static_executed=55,
+    total_methods=520,
+    cpi=300,
+    local_data_kb=70.0,
+    global_data_kb=110.0,
+    percent_globals_needed_first=20,
+    percent_globals_in_methods=70,
+    percent_globals_unused=10,
+    percent_bytes_needed=55,
+    first_use_span=0.06,
+)
+
+#: Link sweep: 2026-flavoured bandwidths, same cycles-per-byte model.
+LINKS = [
+    link_from_bandwidth("2G", 100_000),
+    link_from_bandwidth("3G", 2_000_000),
+    link_from_bandwidth("4G", 20_000_000),
+    link_from_bandwidth("fiber", 500_000_000),
+]
+
+
+def main() -> None:
+    workload = paper_workload(SPEC)
+    program = workload.program
+    order = estimate_first_use(program)
+    print(
+        f"{SPEC.name}: {len(program.classes)} classes, "
+        f"{program.method_count} methods"
+    )
+    print(
+        f"{'link':8} {'strict (s)':>12} {'non-strict (s)':>15} "
+        f"{'normalized':>11} {'% transfer':>11}"
+    )
+    for link in LINKS:
+        base = strict_baseline(
+            program, workload.test_trace, link, workload.cpi
+        )
+        sim = run_nonstrict(
+            program,
+            workload.test_trace,
+            order,
+            link,
+            workload.cpi,
+            method="interleaved",
+        )
+        cpu_hz = 500e6
+        print(
+            f"{link.name:8} {base.total_cycles/cpu_hz:12.2f} "
+            f"{sim.total_cycles/cpu_hz:15.2f} "
+            f"{sim.normalized_to(base.total_cycles):10.1f}% "
+            f"{base.percent_transfer:10.1f}%"
+        )
+    print(
+        "\nNon-strict execution matters exactly where transfer "
+        "dominates: slow links show large wins, fast links are "
+        "execution-bound and the layout no longer matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

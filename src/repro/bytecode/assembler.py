@@ -1,0 +1,206 @@
+"""Assembling bytecode from text or from a programmatic builder.
+
+Two front ends produce instruction lists:
+
+* :func:`assemble` parses a small textual assembly language with labels,
+  used by tests and by hand-written example methods.
+* :class:`CodeBuilder` is the programmatic interface used by the
+  mini-language compiler (:mod:`repro.lang`) and the synthetic workload
+  generator; it supports forward references through :class:`Label`.
+
+Branch operands are *relative to the start of the branch instruction*, as
+in the JVM; both front ends compute them from label positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblyError
+from .instructions import Instruction
+from .opcodes import MNEMONICS, OPCODE_TABLE, Opcode
+
+__all__ = ["assemble", "CodeBuilder", "Label"]
+
+
+@dataclass
+class Label:
+    """A (possibly forward) branch target inside a :class:`CodeBuilder`.
+
+    Attributes:
+        name: Optional diagnostic name.
+        offset: Byte offset within the code, set when the label is bound.
+    """
+
+    name: str = ""
+    offset: Optional[int] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.offset is not None
+
+
+class CodeBuilder:
+    """Incrementally build a method body with automatic label resolution.
+
+    Example:
+        >>> builder = CodeBuilder()
+        >>> loop = builder.new_label("loop")
+        >>> builder.bind(loop)
+        >>> builder.emit(Opcode.LOAD, 0)
+        >>> builder.branch(Opcode.IFNE, loop)
+        >>> builder.emit(Opcode.RETURN)
+        >>> instructions = builder.build()
+    """
+
+    def __init__(self) -> None:
+        self._instructions: List[Instruction] = []
+        self._offsets: List[int] = []
+        self._position = 0
+        # Index of instructions whose sole operand is an unresolved label.
+        self._fixups: List[Tuple[int, Label]] = []
+        self._labels: List[Label] = []
+
+    @property
+    def position(self) -> int:
+        """Current byte offset (where the next instruction will start)."""
+        return self._position
+
+    def new_label(self, name: str = "") -> Label:
+        """Create a fresh, unbound label."""
+        label = Label(name=name)
+        self._labels.append(label)
+        return label
+
+    def bind(self, label: Label) -> None:
+        """Bind ``label`` to the current position."""
+        if label.bound:
+            raise AssemblyError(f"label {label.name!r} bound twice")
+        label.offset = self._position
+
+    def emit(self, opcode: Opcode, *operands: int) -> None:
+        """Append one instruction with literal operands."""
+        instruction = Instruction(opcode, tuple(operands))
+        self._append(instruction)
+
+    def branch(self, opcode: Opcode, target: Label) -> None:
+        """Append a branch to ``target``, resolving it at :meth:`build`."""
+        if not OPCODE_TABLE[opcode].is_branch:
+            raise AssemblyError(f"{opcode.name} is not a branch opcode")
+        # Placeholder offset 0; patched when the label is resolved.
+        instruction = Instruction(opcode, (0,))
+        self._fixups.append((len(self._instructions), target))
+        self._append(instruction)
+
+    def _append(self, instruction: Instruction) -> None:
+        self._instructions.append(instruction)
+        self._offsets.append(self._position)
+        self._position += instruction.size
+
+    def build(self) -> List[Instruction]:
+        """Resolve all branches and return the instruction list."""
+        instructions = list(self._instructions)
+        for index, label in self._fixups:
+            if not label.bound:
+                raise AssemblyError(f"unbound label {label.name!r}")
+            source = self._offsets[index]
+            relative = label.offset - source
+            placeholder = instructions[index]
+            instructions[index] = Instruction(
+                placeholder.opcode, (relative,)
+            )
+        return instructions
+
+
+def _parse_operand(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad operand {token!r}") from exc
+
+
+@dataclass
+class _PendingLine:
+    mnemonic: str
+    tokens: List[str]
+    lineno: int
+    offset: int = 0
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble textual bytecode into an instruction list.
+
+    Syntax: one instruction per line, ``;`` starts a comment, a trailing
+    ``:`` defines a label, and branch operands may be label names.
+
+    Raises:
+        AssemblyError: On unknown mnemonics, bad operands, wrong operand
+            counts, duplicate labels, or undefined label references.
+    """
+    labels: Dict[str, int] = {}
+    pending: List[_PendingLine] = []
+    position = 0
+
+    for lineno, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line.split()[0].endswith(":"):
+            name = line.split()[0][:-1]
+            if not name:
+                raise AssemblyError(f"line {lineno}: empty label")
+            if name in labels:
+                raise AssemblyError(
+                    f"line {lineno}: duplicate label {name!r}"
+                )
+            labels[name] = position
+            line = line.split(None, 1)[1] if " " in line else ""
+            line = line.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        tokens = line.replace(",", " ").split()
+        mnemonic = tokens[0].lower()
+        opcode = MNEMONICS.get(mnemonic)
+        if opcode is None:
+            raise AssemblyError(
+                f"line {lineno}: unknown mnemonic {mnemonic!r}"
+            )
+        entry = _PendingLine(mnemonic, tokens[1:], lineno, offset=position)
+        pending.append(entry)
+        position += OPCODE_TABLE[opcode].size
+
+    instructions: List[Instruction] = []
+    for entry in pending:
+        opcode = MNEMONICS[entry.mnemonic]
+        info = OPCODE_TABLE[opcode]
+        if len(entry.tokens) != len(info.operands):
+            raise AssemblyError(
+                f"line {entry.lineno}: {entry.mnemonic} expects "
+                f"{len(info.operands)} operand(s), got {len(entry.tokens)}"
+            )
+        operands = []
+        for token in entry.tokens:
+            if info.is_branch and token in labels:
+                operands.append(labels[token] - entry.offset)
+            elif info.is_branch and not _looks_numeric(token):
+                raise AssemblyError(
+                    f"line {entry.lineno}: undefined label {token!r}"
+                )
+            else:
+                operands.append(_parse_operand(token))
+        try:
+            instructions.append(Instruction(opcode, tuple(operands)))
+        except Exception as exc:
+            raise AssemblyError(f"line {entry.lineno}: {exc}") from exc
+    return instructions
+
+
+def _looks_numeric(token: str) -> bool:
+    try:
+        int(token, 0)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,45 @@
+"""Disassembling bytecode back to readable text.
+
+The output round-trips through :func:`repro.bytecode.assembler.assemble`:
+branches are rendered with synthesized labels (``L<offset>``) rather than
+raw relative offsets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from .encoding import decode
+from .instructions import Instruction, offsets_of
+
+__all__ = ["disassemble"]
+
+
+def disassemble(code: Union[bytes, Sequence[Instruction]]) -> str:
+    """Render a code array (bytes or instructions) as assembly text."""
+    if isinstance(code, (bytes, bytearray)):
+        instructions = decode(bytes(code))
+    else:
+        instructions = list(code)
+    offsets = offsets_of(instructions)
+
+    targets = set()
+    for instruction, offset in zip(instructions, offsets):
+        if instruction.info.is_branch:
+            targets.add(instruction.branch_target(offset))
+
+    lines: List[str] = []
+    for instruction, offset in zip(instructions, offsets):
+        if offset in targets:
+            lines.append(f"L{offset}:")
+        lines.append("    " + _render(instruction, offset))
+    end = offsets[-1] + instructions[-1].size if instructions else 0
+    if end in targets:
+        lines.append(f"L{end}:")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _render(instruction: Instruction, offset: int) -> str:
+    if instruction.info.is_branch:
+        return f"{instruction.mnemonic} L{instruction.branch_target(offset)}"
+    return str(instruction)

@@ -1,0 +1,82 @@
+"""Binary encoding and decoding of instruction streams.
+
+The encoding is byte-exact: ``decode(encode(instructions))`` round-trips,
+and the encoded length of each instruction equals ``Instruction.size``.
+This matters because every transfer experiment in the paper is a function
+of byte counts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from ..errors import BytecodeError
+from .instructions import Instruction
+from .opcodes import OPCODE_TABLE, Opcode, OperandKind
+
+__all__ = ["encode", "decode", "decode_one"]
+
+_PACKERS = {
+    OperandKind.U1: struct.Struct(">B"),
+    OperandKind.U2: struct.Struct(">H"),
+    OperandKind.S2: struct.Struct(">h"),
+    OperandKind.I4: struct.Struct(">i"),
+}
+
+_VALID_OPCODES = {int(opcode) for opcode in Opcode}
+
+
+def encode(instructions: Sequence[Instruction]) -> bytes:
+    """Encode an instruction sequence to its binary form."""
+    parts = bytearray()
+    for instruction in instructions:
+        parts.append(int(instruction.opcode))
+        for value, kind in zip(
+            instruction.operands, instruction.info.operands
+        ):
+            parts += _PACKERS[kind].pack(value)
+    return bytes(parts)
+
+
+def decode_one(code: bytes, offset: int) -> Instruction:
+    """Decode the single instruction starting at ``offset``.
+
+    Raises:
+        BytecodeError: On an unknown opcode byte or a truncated stream.
+    """
+    if offset >= len(code):
+        raise BytecodeError(f"offset {offset} beyond code end {len(code)}")
+    opcode_byte = code[offset]
+    if opcode_byte not in _VALID_OPCODES:
+        raise BytecodeError(
+            f"unknown opcode byte 0x{opcode_byte:02x} at offset {offset}"
+        )
+    opcode = Opcode(opcode_byte)
+    info = OPCODE_TABLE[opcode]
+    cursor = offset + 1
+    operands = []
+    for kind in info.operands:
+        packer = _PACKERS[kind]
+        end = cursor + packer.size
+        if end > len(code):
+            raise BytecodeError(
+                f"truncated {info.mnemonic} operand at offset {cursor}"
+            )
+        operands.append(packer.unpack_from(code, cursor)[0])
+        cursor = end
+    return Instruction(opcode, tuple(operands))
+
+
+def decode(code: bytes) -> List[Instruction]:
+    """Decode a full code array into a list of instructions.
+
+    The stream must end exactly on an instruction boundary.
+    """
+    instructions = []
+    offset = 0
+    while offset < len(code):
+        instruction = decode_one(code, offset)
+        instructions.append(instruction)
+        offset += instruction.size
+    return instructions

@@ -1,0 +1,25 @@
+"""Control-flow analysis: basic blocks, CFGs, dominators, loops, calls."""
+
+from .basic_blocks import BasicBlock, CallSite, partition_blocks
+from .callgraph import CallEdge, CallGraph, build_call_graph
+from .dominators import dominates, immediate_dominators
+from .graph import ControlFlowGraph, Edge, EdgeKind, build_cfg
+from .loops import LoopAnalysis, NaturalLoop, analyze_loops
+
+__all__ = [
+    "BasicBlock",
+    "CallSite",
+    "partition_blocks",
+    "CallEdge",
+    "CallGraph",
+    "build_call_graph",
+    "dominates",
+    "immediate_dominators",
+    "ControlFlowGraph",
+    "Edge",
+    "EdgeKind",
+    "build_cfg",
+    "LoopAnalysis",
+    "NaturalLoop",
+    "analyze_loops",
+]

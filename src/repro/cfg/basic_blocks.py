@@ -1,0 +1,133 @@
+"""Basic block partitioning of a method's bytecode.
+
+Leaders are the first instruction, every branch target, and every
+instruction following a branch or a return.  ``CALL`` does *not* end a
+block — call sites are recorded inside the block, matching the paper's
+traversal, which scans the blocks of a procedure for calls in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bytecode import Instruction, Opcode, offsets_of
+from ..errors import CFGError
+
+__all__ = ["CallSite", "BasicBlock", "partition_blocks"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A ``CALL`` instruction inside a basic block.
+
+    Attributes:
+        instruction_index: Index into the method's instruction list.
+        pool_index: Constant pool index of the MethodRef operand.
+    """
+
+    instruction_index: int
+    pool_index: int
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run.
+
+    Attributes:
+        block_id: Dense index, 0 for the entry block.
+        start_offset: Byte offset of the first instruction.
+        instructions: The block's instructions.
+        instruction_indexes: Their indexes in the method's code.
+        call_sites: CALL sites in block order.
+    """
+
+    block_id: int
+    start_offset: int
+    instructions: List[Instruction] = field(default_factory=list)
+    instruction_indexes: List[int] = field(default_factory=list)
+    call_sites: List[CallSite] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(instruction.size for instruction in self.instructions)
+
+    @property
+    def last(self) -> Instruction:
+        if not self.instructions:
+            raise CFGError(f"empty basic block {self.block_id}")
+        return self.instructions[-1]
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the final instruction."""
+        return self.start_offset + self.size_bytes
+
+    @property
+    def terminates(self) -> bool:
+        """True when the block ends in a return."""
+        return self.last.info.is_return
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def partition_blocks(
+    instructions: List[Instruction],
+) -> Tuple[List[BasicBlock], Dict[int, int]]:
+    """Split code into basic blocks.
+
+    Returns:
+        ``(blocks, offset_to_block)`` where ``offset_to_block`` maps a
+        leader byte offset to its block id.
+
+    Raises:
+        CFGError: On empty code or a branch to a non-instruction offset.
+    """
+    if not instructions:
+        raise CFGError("cannot partition empty code")
+    offsets = offsets_of(instructions)
+    offset_set = set(offsets)
+    end = offsets[-1] + instructions[-1].size
+
+    leaders = {0}
+    for instruction, offset in zip(instructions, offsets):
+        if instruction.info.is_branch:
+            target = instruction.branch_target(offset)
+            if target not in offset_set:
+                raise CFGError(
+                    f"branch at offset {offset} targets {target}, which "
+                    "is not an instruction boundary"
+                )
+            leaders.add(target)
+            next_offset = offset + instruction.size
+            if next_offset < end:
+                leaders.add(next_offset)
+        elif instruction.info.is_return:
+            next_offset = offset + instruction.size
+            if next_offset < end:
+                leaders.add(next_offset)
+
+    blocks: List[BasicBlock] = []
+    offset_to_block: Dict[int, int] = {}
+    current: Optional[BasicBlock] = None
+    for index, (instruction, offset) in enumerate(
+        zip(instructions, offsets)
+    ):
+        if offset in leaders:
+            current = BasicBlock(
+                block_id=len(blocks), start_offset=offset
+            )
+            blocks.append(current)
+            offset_to_block[offset] = current.block_id
+        assert current is not None
+        current.instructions.append(instruction)
+        current.instruction_indexes.append(index)
+        if instruction.opcode == Opcode.CALL:
+            current.call_sites.append(
+                CallSite(
+                    instruction_index=index,
+                    pool_index=instruction.operand,
+                )
+            )
+    return blocks, offset_to_block

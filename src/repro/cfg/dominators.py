@@ -1,0 +1,66 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .graph import ControlFlowGraph
+
+__all__ = ["immediate_dominators", "dominates"]
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    """Immediate dominator of every reachable block.
+
+    Returns:
+        Mapping block id → idom block id; the entry maps to ``None``.
+        Unreachable blocks are absent.
+    """
+    order = cfg.reverse_postorder()
+    position = {block_id: index for index, block_id in enumerate(order)}
+    entry = cfg.entry.block_id
+    idom: Dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in order:
+            if block_id == entry:
+                continue
+            candidates = [
+                predecessor
+                for predecessor in cfg.predecessors(block_id)
+                if predecessor in idom
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for predecessor in candidates[1:]:
+                new_idom = intersect(new_idom, predecessor)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+
+    result: Dict[int, Optional[int]] = dict(idom)
+    result[entry] = None
+    return result
+
+
+def dominates(
+    idom: Dict[int, Optional[int]], dominator: int, block_id: int
+) -> bool:
+    """Whether ``dominator`` dominates ``block_id`` (reflexive)."""
+    current: Optional[int] = block_id
+    while current is not None:
+        if current == dominator:
+            return True
+        current = idom.get(current)
+    return False

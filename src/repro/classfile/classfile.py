@@ -1,0 +1,202 @@
+"""The class file structure and a builder for constructing it.
+
+A :class:`ClassFile` is the unit of strict transfer; its methods (in file
+order) are the units of non-strict transfer.  Restructuring (paper §4)
+permutes ``methods``; partitioning (paper §7.3) rearranges how the global
+data is *transferred* but never changes this canonical structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..bytecode import Instruction
+from ..errors import ClassFileError
+from .constant_pool import ConstantPool
+from .members import Attribute, FieldInfo, MethodInfo
+
+__all__ = ["ClassFile", "ClassFileBuilder", "MAGIC", "VERSION"]
+
+#: Magic number of the serialized format ("cafe babe" homage).
+MAGIC = 0xCAFEBEBE
+#: (minor, major) version of the serialized format.
+VERSION = (0, 1)
+
+
+@dataclass
+class ClassFile:
+    """One mobile-program class: global data plus an ordered method list.
+
+    Attributes:
+        name: Fully qualified class name.
+        constant_pool: Shared pool of constants (global data).
+        access_flags: Class-level access flags.
+        interfaces: Names of implemented interfaces.
+        fields: Global (static) fields.
+        methods: Methods in *file order* — the transfer order.
+        attributes: Class-level attributes (source file name, etc.).
+    """
+
+    name: str
+    constant_pool: ConstantPool = field(default_factory=ConstantPool)
+    access_flags: int = 0x0001
+    interfaces: Tuple[str, ...] = ()
+    fields: Tuple[FieldInfo, ...] = ()
+    methods: List[MethodInfo] = field(default_factory=list)
+    attributes: Tuple[Attribute, ...] = ()
+
+    def method(self, name: str) -> MethodInfo:
+        """Look up a method by name.
+
+        Raises:
+            ClassFileError: If no such method exists.
+        """
+        for method in self.methods:
+            if method.name == name:
+                return method
+        raise ClassFileError(f"no method {name!r} in class {self.name!r}")
+
+    def has_method(self, name: str) -> bool:
+        return any(method.name == name for method in self.methods)
+
+    def method_index(self, name: str) -> int:
+        """File-order position of a method."""
+        for index, method in enumerate(self.methods):
+            if method.name == name:
+                return index
+        raise ClassFileError(f"no method {name!r} in class {self.name!r}")
+
+    def field_named(self, name: str) -> FieldInfo:
+        for field_info in self.fields:
+            if field_info.name == name:
+                return field_info
+        raise ClassFileError(f"no field {name!r} in class {self.name!r}")
+
+    def reordered(self, method_order: Sequence[str]) -> "ClassFile":
+        """A copy with methods permuted into ``method_order``.
+
+        Args:
+            method_order: Every method name exactly once.
+
+        Raises:
+            ClassFileError: If the order is not a permutation of the
+                method names.
+        """
+        names = [method.name for method in self.methods]
+        if sorted(names) != sorted(method_order):
+            raise ClassFileError(
+                f"method order {list(method_order)!r} is not a "
+                f"permutation of {names!r} for class {self.name!r}"
+            )
+        by_name = {method.name: method for method in self.methods}
+        return ClassFile(
+            name=self.name,
+            constant_pool=self.constant_pool,
+            access_flags=self.access_flags,
+            interfaces=self.interfaces,
+            fields=self.fields,
+            methods=[by_name[name] for name in method_order],
+            attributes=self.attributes,
+        )
+
+
+class ClassFileBuilder:
+    """Convenient construction of class files.
+
+    Wires names through the constant pool the way a compiler would: the
+    class name, every method name/descriptor, and every field
+    name/descriptor are interned as Utf8 entries, and self-references
+    (Class, FieldRef for own fields, MethodRef for own methods) are
+    created so the pool composition resembles ``javac`` output.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._classfile = ClassFile(name=name)
+        pool = self._classfile.constant_pool
+        pool.add_class(name)
+
+    @property
+    def constant_pool(self) -> ConstantPool:
+        return self._classfile.constant_pool
+
+    def add_interface(self, name: str) -> "ClassFileBuilder":
+        pool = self.constant_pool
+        pool.add_class(name)
+        self._classfile.interfaces += (name,)
+        return self
+
+    def add_field(
+        self,
+        name: str,
+        descriptor: str = "I",
+        initial_value: Optional[int] = None,
+    ) -> "ClassFileBuilder":
+        """Add a global field (and its FieldRef pool entry)."""
+        pool = self.constant_pool
+        pool.add_field_ref(self._classfile.name, name, descriptor)
+        attributes: Tuple[Attribute, ...] = ()
+        if initial_value is not None:
+            index = pool.add_integer(initial_value)
+            attributes = (
+                Attribute("ConstantValue", index.to_bytes(2, "big")),
+            )
+        self._classfile.fields += (
+            FieldInfo(name=name, descriptor=descriptor, attributes=attributes),
+        )
+        return self
+
+    def add_method(
+        self,
+        name: str,
+        descriptor: str = "()V",
+        instructions: Optional[Iterable[Instruction]] = None,
+        max_stack: int = 16,
+        max_locals: int = 8,
+        local_data: bytes = b"",
+    ) -> "ClassFileBuilder":
+        """Add a method (and its MethodRef pool entry)."""
+        if self._classfile.has_method(name):
+            raise ClassFileError(
+                f"duplicate method {name!r} in class "
+                f"{self._classfile.name!r}"
+            )
+        pool = self.constant_pool
+        pool.add_method_ref(self._classfile.name, name, descriptor)
+        pool.add_utf8("Code")
+        if local_data:
+            pool.add_utf8("LocalData")
+        self._classfile.methods.append(
+            MethodInfo(
+                name=name,
+                descriptor=descriptor,
+                instructions=list(instructions or []),
+                max_stack=max_stack,
+                max_locals=max_locals,
+                local_data=local_data,
+            )
+        )
+        return self
+
+    def add_string_constant(self, value: str) -> int:
+        """Intern a string constant, returning its LDC-able index."""
+        return self.constant_pool.add_string(value)
+
+    def add_attribute(self, name: str, data: bytes) -> "ClassFileBuilder":
+        self.constant_pool.add_utf8(name)
+        self._classfile.attributes += (Attribute(name, data),)
+        return self
+
+    def method_ref(self, class_name: str, name: str, descriptor: str) -> int:
+        """Intern a MethodRef (possibly to another class) for CALL."""
+        return self.constant_pool.add_method_ref(
+            class_name, name, descriptor
+        )
+
+    def field_ref(self, class_name: str, name: str, descriptor: str = "I") -> int:
+        """Intern a FieldRef for GETSTATIC/PUTSTATIC."""
+        return self.constant_pool.add_field_ref(class_name, name, descriptor)
+
+    def build(self) -> ClassFile:
+        """Finish and return the class file."""
+        return self._classfile

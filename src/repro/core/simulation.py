@@ -1,0 +1,167 @@
+"""The execution/transfer co-simulator.
+
+Replays an execution trace against a transfer timeline, cycle-exactly:
+
+* executing ``n`` bytecode instructions costs ``n × CPI`` cycles (the
+  paper's §6.1 model: per-program average CPI on a 500 MHz Alpha);
+* a trace segment may begin only once the transfer unit its method
+  requires has arrived — otherwise execution *stalls* and the
+  controller gets a chance to demand-fetch (§5.1 misprediction
+  correction);
+* while execution proceeds, transfer continues in the background
+  (that is the whole point of non-strict execution);
+* when the trace ends, any remaining transfer is terminated, exactly
+  as the paper does ("if an application completes execution before all
+  the methods have transferred, we terminate the remaining transfer").
+
+The same machinery simulates the strict base case by pairing the
+strict controller (whole-file units) with a strict-semantics trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+from ..program import MethodId, Program
+from ..transfer import StreamEngine, TransferController, NetworkLink
+from ..vm import ExecutionTrace
+
+__all__ = ["StallEvent", "SimulationResult", "Simulator"]
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """Execution waited for transfer.
+
+    Attributes:
+        method: Method whose unit had not arrived.
+        start: Cycle at which execution stopped.
+        duration: Stall length in cycles.
+    """
+
+    method: MethodId
+    start: float
+    duration: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one co-simulation.
+
+    Attributes:
+        total_cycles: Invocation-to-completion cycles (transfer
+            remaining at completion is terminated, not waited for).
+        execution_cycles: Pure compute cycles (instructions × CPI).
+        stall_cycles: Cycles execution spent waiting on transfer.
+        invocation_latency: Cycles until the first instruction ran.
+        bytes_delivered: Bytes that arrived before completion.
+        bytes_terminated: Bytes whose transfer was cut off at the end.
+        stalls: Every stall, in order.
+        controller_name: Which transfer methodology ran.
+    """
+
+    total_cycles: float
+    execution_cycles: float
+    stall_cycles: float
+    invocation_latency: float
+    bytes_delivered: float
+    bytes_terminated: float
+    stalls: List[StallEvent] = field(default_factory=list)
+    controller_name: str = ""
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+    def normalized_to(self, baseline_cycles: float) -> float:
+        """Percent of a baseline: the paper's normalized execution time."""
+        if baseline_cycles <= 0:
+            raise SimulationError(
+                f"non-positive baseline: {baseline_cycles}"
+            )
+        return 100.0 * self.total_cycles / baseline_cycles
+
+
+class Simulator:
+    """Co-simulates one configuration.
+
+    Args:
+        program: The (possibly restructured) program being transferred.
+        trace: The execution trace to replay (method ids must exist in
+            ``program``).
+        controller: Transfer methodology.
+        link: Network link model.
+        cpi: Average cycles per bytecode instruction.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        trace: ExecutionTrace,
+        controller: TransferController,
+        link: NetworkLink,
+        cpi: float,
+    ) -> None:
+        if cpi <= 0:
+            raise SimulationError(f"CPI must be positive, got {cpi}")
+        self.program = program
+        self.trace = trace
+        self.controller = controller
+        self.link = link
+        self.cpi = float(cpi)
+
+    def run(self) -> SimulationResult:
+        """Run the co-simulation to completion."""
+        engine = StreamEngine(
+            self.link, max_streams=getattr(
+                self.controller, "max_streams", None
+            )
+        )
+        controller = self.controller
+        controller.setup(engine)
+
+        wakeup = controller.next_wakeup
+        on_advance = controller.on_advance
+
+        time = 0.0
+        stall_cycles = 0.0
+        stalls: List[StallEvent] = []
+        invocation_latency: Optional[float] = None
+
+        for segment in self.trace.segments:
+            unit = controller.required_unit(segment.method)
+            if not engine.arrived(unit):
+                controller.on_stall(engine, segment.method)
+                arrival = engine.run_until_unit(
+                    unit, wakeup=wakeup, on_advance=on_advance
+                )
+                arrival = max(arrival, time)
+                stalls.append(
+                    StallEvent(
+                        method=segment.method,
+                        start=time,
+                        duration=arrival - time,
+                    )
+                )
+                stall_cycles += arrival - time
+                time = arrival
+            if invocation_latency is None:
+                invocation_latency = time
+            time += segment.instructions * self.cpi
+            engine.run_until(time, wakeup=wakeup, on_advance=on_advance)
+
+        if invocation_latency is None:
+            invocation_latency = 0.0
+        execution_cycles = self.trace.total_instructions * self.cpi
+        return SimulationResult(
+            total_cycles=time,
+            execution_cycles=execution_cycles,
+            stall_cycles=stall_cycles,
+            invocation_latency=invocation_latency,
+            bytes_delivered=engine.total_delivered,
+            bytes_terminated=engine.remaining_bytes,
+            stalls=stalls,
+            controller_name=controller.name,
+        )

@@ -1,0 +1,17 @@
+"""Global data partitioning (GMD) — paper §7.3."""
+
+from .gmd import DataPartition, partition_class, partition_program
+from .usage import (
+    method_pool_references,
+    reference_closure,
+    setup_pool_references,
+)
+
+__all__ = [
+    "DataPartition",
+    "partition_class",
+    "partition_program",
+    "method_pool_references",
+    "reference_closure",
+    "setup_pool_references",
+]

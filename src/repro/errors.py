@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode: bad opcode, bad operand, truncated stream."""
+
+
+class AssemblyError(BytecodeError):
+    """Error while assembling textual or builder-based bytecode."""
+
+
+class ClassFileError(ReproError):
+    """Malformed or inconsistent class file structure."""
+
+
+class ConstantPoolError(ClassFileError):
+    """Invalid constant pool index, tag, or entry layout."""
+
+
+class VerificationError(ReproError):
+    """A class file or method failed the verifier's structural checks."""
+
+
+class LinkError(ReproError):
+    """Symbolic reference resolution failed during (incremental) linking."""
+
+
+class VMError(ReproError):
+    """Runtime error inside the bytecode interpreter."""
+
+
+class StackUnderflowError(VMError):
+    """An instruction popped more operands than the stack holds."""
+
+
+class CFGError(ReproError):
+    """Control-flow graph construction or analysis failure."""
+
+
+class ReorderError(ReproError):
+    """First-use estimation or class file restructuring failure."""
+
+
+class TransferError(ReproError):
+    """Invalid transfer plan, schedule, or stream engine state."""
+
+
+class SimulationError(ReproError):
+    """Co-simulation reached an inconsistent state (e.g. deadlock)."""
+
+
+class CompileError(ReproError):
+    """Mini-language front end error (lexing, parsing, or codegen)."""
+
+
+class WorkloadError(ReproError):
+    """Workload specification or synthesis failure."""

@@ -1,0 +1,110 @@
+"""Result tables: a tiny structured container plus a text renderer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["ResultTable"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if value == int(value):
+            return f"{value:.0f}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """One reproduced table or figure series.
+
+    Attributes:
+        key: Short identifier ("table5", "figure6", ...).
+        title: Human-readable caption.
+        columns: Column headers; the first is usually the benchmark.
+        rows: One list of cells per row.
+        notes: Caveats or paper-comparison remarks.
+    """
+
+    key: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"{self.key}: row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_average_row(self, label: str = "AVG") -> None:
+        """Append a row averaging every numeric column."""
+        averages: List[Any] = [label]
+        for column_index in range(1, len(self.columns)):
+            values = [
+                row[column_index]
+                for row in self.rows
+                if isinstance(row[column_index], (int, float))
+            ]
+            averages.append(
+                sum(values) / len(values) if values else ""
+            )
+        self.rows.append(averages)
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, label: Any) -> List[Any]:
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"{self.key}: no row {label!r}")
+
+    def cell(self, row_label: Any, column: str) -> Any:
+        return self.row_for(row_label)[self.columns.index(column)]
+
+    def render(self) -> str:
+        """Render as aligned plain text."""
+        formatted = [[str(column) for column in self.columns]] + [
+            [_format_cell(cell) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(line[index]) for line in formatted)
+            for index in range(len(self.columns))
+        ]
+        lines = [self.title, ""]
+        header = "  ".join(
+            cell.ljust(width)
+            for cell, width in zip(formatted[0], widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in formatted[1:]:
+            lines.append(
+                "  ".join(
+                    cell.rjust(width) if index else cell.ljust(width)
+                    for index, (cell, width) in enumerate(
+                        zip(row, widths)
+                    )
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines) + "\n"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }

@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    repro-experiments               # every table and figure
+    repro-experiments table5 table7
+    repro-experiments --list
+    repro-experiments --json figure6
+    python -m repro.harness.runner figure6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import (
+    figure6_summary,
+    table10_data_partitioning,
+    table2_statistics,
+    table3_base_case,
+    table4_invocation_latency,
+    table5_parallel_t1,
+    table6_parallel_modem,
+    table7_interleaved,
+    table8_global_data,
+    table9_data_breakdown,
+)
+from .results import ResultTable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS: Dict[str, Callable[[], ResultTable]] = {
+    "table2": table2_statistics,
+    "table3": table3_base_case,
+    "table4": table4_invocation_latency,
+    "table5": table5_parallel_t1,
+    "table6": table6_parallel_modem,
+    "table7": table7_interleaved,
+    "table8": table8_global_data,
+    "table9": table9_data_breakdown,
+    "table10": table10_data_partitioning,
+    "figure6": figure6_summary,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Overlapping "
+            "Execution with Transfer Using Non-Strict Execution for "
+            "Mobile Programs' (ASPLOS 1998)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment keys (default: all)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiment keys and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text tables",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for key in EXPERIMENTS:
+            print(key)
+        return 0
+
+    selected = arguments.experiments or list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(EXPERIMENTS)}"
+        )
+    if arguments.json:
+        payload = [EXPERIMENTS[key]().to_dict() for key in selected]
+        print(json.dumps(payload, indent=2))
+    else:
+        for key in selected:
+            print(EXPERIMENTS[key]().render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Mini: the toy source language and compiler for workload authoring."""
+
+from .compiler import compile_ast, compile_source
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse
+
+__all__ = [
+    "compile_ast",
+    "compile_source",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+]

@@ -1,0 +1,211 @@
+"""Abstract syntax tree for Mini."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "ProgramNode",
+    "ClassNode",
+    "GlobalNode",
+    "FuncNode",
+    "Stmt",
+    "VarDecl",
+    "Assign",
+    "GlobalAssign",
+    "IndexAssign",
+    "If",
+    "While",
+    "Return",
+    "Print",
+    "Halt",
+    "ExprStmt",
+    "Expr",
+    "IntLit",
+    "StrLit",
+    "VarRef",
+    "GlobalRef",
+    "Unary",
+    "Binary",
+    "Call",
+    "NewArray",
+    "Index",
+    "Len",
+    "Rand",
+    "Time",
+]
+
+
+# --- expressions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base expression node."""
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class StrLit(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class GlobalRef(Expr):
+    """``Class.field`` (or an unqualified global of the same class)."""
+
+    class_name: Optional[str]
+    field_name: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """``f(args)`` (same class) or ``Class.f(args)``."""
+
+    class_name: Optional[str]
+    func_name: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class NewArray(Expr):
+    size: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Len(Expr):
+    array: Expr
+
+
+@dataclass(frozen=True)
+class Rand(Expr):
+    pass
+
+
+@dataclass(frozen=True)
+class Time(Expr):
+    pass
+
+
+# --- statements --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base statement node."""
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    name: str
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class GlobalAssign(Stmt):
+    class_name: Optional[str]
+    field_name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IndexAssign(Stmt):
+    array: Expr
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Halt(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    value: Expr
+
+
+# --- declarations ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GlobalNode:
+    name: str
+    initial_value: Optional[int]
+
+
+@dataclass(frozen=True)
+class FuncNode:
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class ClassNode:
+    name: str
+    globals: Tuple[GlobalNode, ...]
+    funcs: Tuple[FuncNode, ...]
+
+
+@dataclass(frozen=True)
+class ProgramNode:
+    classes: Tuple[ClassNode, ...]

@@ -1,0 +1,444 @@
+"""Mini → class file compiler.
+
+Two passes: signature collection (so forward and cross-class calls
+resolve), then per-function code generation through
+:class:`~repro.bytecode.assembler.CodeBuilder`.  The produced
+:class:`~repro.program.Program` is indistinguishable from a hand-built
+one: it runs on the VM, profiles, reorders, partitions, and transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..bytecode import CodeBuilder, Opcode, SysCall
+from ..classfile import ClassFileBuilder
+from ..errors import CompileError
+from ..program import MethodId, Program
+from . import ast
+from .parser import parse
+
+__all__ = ["compile_source", "compile_ast"]
+
+
+@dataclass(frozen=True)
+class _Signature:
+    arity: int
+    returns_value: bool
+
+    @property
+    def descriptor(self) -> str:
+        return f"({'I' * self.arity}){'I' if self.returns_value else 'V'}"
+
+
+def _body_returns_value(body: Tuple[ast.Stmt, ...]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Return) and statement.value is not None:
+            return True
+        if isinstance(statement, ast.If):
+            if _body_returns_value(statement.then_body) or (
+                _body_returns_value(statement.else_body)
+            ):
+                return True
+        if isinstance(statement, ast.While) and _body_returns_value(
+            statement.body
+        ):
+            return True
+    return False
+
+
+class _SignatureTable:
+    """All function signatures and global fields, by class."""
+
+    def __init__(self, program: ast.ProgramNode) -> None:
+        self.functions: Dict[Tuple[str, str], _Signature] = {}
+        self.globals: Dict[Tuple[str, str], ast.GlobalNode] = {}
+        for class_node in program.classes:
+            for func in class_node.funcs:
+                key = (class_node.name, func.name)
+                if key in self.functions:
+                    raise CompileError(
+                        f"duplicate function {func.name!r} in class "
+                        f"{class_node.name!r}"
+                    )
+                self.functions[key] = _Signature(
+                    arity=len(func.params),
+                    returns_value=_body_returns_value(func.body),
+                )
+            for global_node in class_node.globals:
+                key = (class_node.name, global_node.name)
+                if key in self.globals:
+                    raise CompileError(
+                        f"duplicate global {global_node.name!r} in "
+                        f"class {class_node.name!r}"
+                    )
+                self.globals[key] = global_node
+
+    def function(self, class_name: str, func_name: str) -> _Signature:
+        try:
+            return self.functions[(class_name, func_name)]
+        except KeyError as exc:
+            raise CompileError(
+                f"unknown function {class_name}.{func_name}"
+            ) from exc
+
+    def has_global(self, class_name: str, field_name: str) -> bool:
+        return (class_name, field_name) in self.globals
+
+
+class _FunctionCompiler:
+    """Generates code for one function body."""
+
+    def __init__(
+        self,
+        class_builder: ClassFileBuilder,
+        class_name: str,
+        func: ast.FuncNode,
+        signatures: _SignatureTable,
+    ) -> None:
+        self.builder = CodeBuilder()
+        self.class_builder = class_builder
+        self.class_name = class_name
+        self.func = func
+        self.signatures = signatures
+        self.slots: Dict[str, int] = {
+            name: index for index, name in enumerate(func.params)
+        }
+        self.max_stack = 2
+
+    def error(self, message: str) -> CompileError:
+        return CompileError(
+            f"in {self.class_name}.{self.func.name}: {message}"
+        )
+
+    # -- expression depth (for the Code attribute's max_stack) ----------
+
+    def _depth(self, expr: ast.Expr) -> int:
+        if isinstance(expr, (ast.IntLit, ast.StrLit, ast.VarRef,
+                             ast.GlobalRef, ast.Rand, ast.Time)):
+            return 1
+        if isinstance(expr, ast.Unary):
+            return max(1, self._depth(expr.operand))
+        if isinstance(expr, ast.Binary):
+            return max(
+                self._depth(expr.left), 1 + self._depth(expr.right)
+            )
+        if isinstance(expr, ast.Call):
+            depth = 1
+            for position, arg in enumerate(expr.args):
+                depth = max(depth, position + self._depth(arg))
+            return depth
+        if isinstance(expr, ast.NewArray):
+            return self._depth(expr.size)
+        if isinstance(expr, ast.Index):
+            return max(
+                self._depth(expr.array), 1 + self._depth(expr.index)
+            )
+        if isinstance(expr, ast.Len):
+            return self._depth(expr.array)
+        raise self.error(f"unknown expression {expr!r}")
+
+    def _track(self, depth: int) -> None:
+        self.max_stack = max(self.max_stack, depth + 1)
+
+    # -- slots -------------------------------------------------------------
+
+    def slot_of(self, name: str) -> int:
+        try:
+            return self.slots[name]
+        except KeyError as exc:
+            raise self.error(f"undeclared variable {name!r}") from exc
+
+    def declare(self, name: str) -> int:
+        if name in self.slots:
+            raise self.error(f"variable {name!r} already declared")
+        slot = len(self.slots)
+        if slot > 255:
+            raise self.error("too many local variables")
+        self.slots[name] = slot
+        return slot
+
+    # -- expressions --------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr) -> None:
+        """Emit code leaving the expression's value on the stack."""
+        self._track(self._depth(expr))
+        emit = self.builder.emit
+        if isinstance(expr, ast.IntLit):
+            emit(Opcode.ICONST, expr.value)
+        elif isinstance(expr, ast.StrLit):
+            index = self.class_builder.add_string_constant(expr.value)
+            emit(Opcode.LDC, index)
+        elif isinstance(expr, ast.VarRef):
+            emit(Opcode.LOAD, self.slot_of(expr.name))
+        elif isinstance(expr, ast.GlobalRef):
+            emit(Opcode.GETSTATIC, self._global_ref(expr))
+        elif isinstance(expr, ast.Unary):
+            self._compile_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._compile_binary(expr)
+        elif isinstance(expr, ast.Call):
+            self._compile_call(expr, want_value=True)
+        elif isinstance(expr, ast.NewArray):
+            self.compile_expr(expr.size)
+            emit(Opcode.NEWARRAY)
+        elif isinstance(expr, ast.Index):
+            self.compile_expr(expr.array)
+            self.compile_expr(expr.index)
+            emit(Opcode.ALOAD)
+        elif isinstance(expr, ast.Len):
+            self.compile_expr(expr.array)
+            emit(Opcode.ARRAYLEN)
+        elif isinstance(expr, ast.Rand):
+            emit(Opcode.SYS, SysCall.RAND)
+        elif isinstance(expr, ast.Time):
+            emit(Opcode.SYS, SysCall.TIME)
+        else:
+            raise self.error(f"cannot compile expression {expr!r}")
+
+    def _global_ref(self, expr: ast.GlobalRef) -> int:
+        class_name = expr.class_name or self.class_name
+        if not self.signatures.has_global(class_name, expr.field_name):
+            raise self.error(
+                f"unknown global {class_name}.{expr.field_name}"
+            )
+        return self.class_builder.field_ref(class_name, expr.field_name)
+
+    def _compile_unary(self, expr: ast.Unary) -> None:
+        if expr.op == "-":
+            self.compile_expr(expr.operand)
+            self.builder.emit(Opcode.NEG)
+        elif expr.op == "!":
+            self.compile_expr(expr.operand)
+            self._emit_bool_from_branch(Opcode.IFEQ)
+        else:
+            raise self.error(f"unknown unary operator {expr.op!r}")
+
+    _ARITH_OPS = {
+        "+": Opcode.ADD,
+        "-": Opcode.SUB,
+        "*": Opcode.MUL,
+        "/": Opcode.DIV,
+        "%": Opcode.MOD,
+    }
+    _COMPARE_OPS = {
+        "==": Opcode.IF_ICMPEQ,
+        "!=": Opcode.IF_ICMPNE,
+        "<": Opcode.IF_ICMPLT,
+        "<=": Opcode.IF_ICMPLE,
+        ">": Opcode.IF_ICMPGT,
+        ">=": Opcode.IF_ICMPGE,
+    }
+
+    def _compile_binary(self, expr: ast.Binary) -> None:
+        builder = self.builder
+        if expr.op in self._ARITH_OPS:
+            self.compile_expr(expr.left)
+            self.compile_expr(expr.right)
+            builder.emit(self._ARITH_OPS[expr.op])
+        elif expr.op in self._COMPARE_OPS:
+            self.compile_expr(expr.left)
+            self.compile_expr(expr.right)
+            self._emit_bool_from_branch(self._COMPARE_OPS[expr.op])
+        elif expr.op == "&&":
+            false_label = builder.new_label("and_false")
+            end_label = builder.new_label("and_end")
+            self.compile_expr(expr.left)
+            builder.branch(Opcode.IFEQ, false_label)
+            self.compile_expr(expr.right)
+            builder.branch(Opcode.IFEQ, false_label)
+            builder.emit(Opcode.ICONST, 1)
+            builder.branch(Opcode.GOTO, end_label)
+            builder.bind(false_label)
+            builder.emit(Opcode.ICONST, 0)
+            builder.bind(end_label)
+        elif expr.op == "||":
+            true_label = builder.new_label("or_true")
+            end_label = builder.new_label("or_end")
+            self.compile_expr(expr.left)
+            builder.branch(Opcode.IFNE, true_label)
+            self.compile_expr(expr.right)
+            builder.branch(Opcode.IFNE, true_label)
+            builder.emit(Opcode.ICONST, 0)
+            builder.branch(Opcode.GOTO, end_label)
+            builder.bind(true_label)
+            builder.emit(Opcode.ICONST, 1)
+            builder.bind(end_label)
+        else:
+            raise self.error(f"unknown operator {expr.op!r}")
+
+    def _emit_bool_from_branch(self, branch_opcode: Opcode) -> None:
+        """Turn a conditional branch into a 0/1 value on the stack."""
+        builder = self.builder
+        true_label = builder.new_label("true")
+        end_label = builder.new_label("end")
+        builder.branch(branch_opcode, true_label)
+        builder.emit(Opcode.ICONST, 0)
+        builder.branch(Opcode.GOTO, end_label)
+        builder.bind(true_label)
+        builder.emit(Opcode.ICONST, 1)
+        builder.bind(end_label)
+
+    def _compile_call(self, expr: ast.Call, want_value: bool) -> None:
+        class_name = expr.class_name or self.class_name
+        signature = self.signatures.function(class_name, expr.func_name)
+        if len(expr.args) != signature.arity:
+            raise self.error(
+                f"{class_name}.{expr.func_name} expects "
+                f"{signature.arity} argument(s), got {len(expr.args)}"
+            )
+        if want_value and not signature.returns_value:
+            raise self.error(
+                f"{class_name}.{expr.func_name} returns no value"
+            )
+        for arg in expr.args:
+            self.compile_expr(arg)
+        ref = self.class_builder.method_ref(
+            class_name, expr.func_name, signature.descriptor
+        )
+        self.builder.emit(Opcode.CALL, ref)
+        if not want_value and signature.returns_value:
+            self.builder.emit(Opcode.POP)
+
+    # -- statements -----------------------------------------------------------
+
+    def compile_block(self, body: Tuple[ast.Stmt, ...]) -> None:
+        for statement in body:
+            self.compile_statement(statement)
+
+    def compile_statement(self, statement: ast.Stmt) -> None:
+        builder = self.builder
+        if isinstance(statement, ast.VarDecl):
+            slot = self.declare(statement.name)
+            if statement.value is not None:
+                self.compile_expr(statement.value)
+                builder.emit(Opcode.STORE, slot)
+        elif isinstance(statement, ast.Assign):
+            self.compile_expr(statement.value)
+            builder.emit(Opcode.STORE, self.slot_of(statement.name))
+        elif isinstance(statement, ast.GlobalAssign):
+            self.compile_expr(statement.value)
+            ref = self._global_ref(
+                ast.GlobalRef(
+                    class_name=statement.class_name,
+                    field_name=statement.field_name,
+                )
+            )
+            builder.emit(Opcode.PUTSTATIC, ref)
+        elif isinstance(statement, ast.IndexAssign):
+            self._track(
+                max(
+                    self._depth(statement.array),
+                    1 + self._depth(statement.index),
+                    2 + self._depth(statement.value),
+                )
+            )
+            self.compile_expr(statement.array)
+            self.compile_expr(statement.index)
+            self.compile_expr(statement.value)
+            builder.emit(Opcode.ASTORE)
+        elif isinstance(statement, ast.If):
+            else_label = builder.new_label("else")
+            end_label = builder.new_label("endif")
+            self.compile_expr(statement.condition)
+            builder.branch(Opcode.IFEQ, else_label)
+            self.compile_block(statement.then_body)
+            builder.branch(Opcode.GOTO, end_label)
+            builder.bind(else_label)
+            self.compile_block(statement.else_body)
+            builder.bind(end_label)
+        elif isinstance(statement, ast.While):
+            loop_label = builder.new_label("while")
+            end_label = builder.new_label("endwhile")
+            builder.bind(loop_label)
+            self.compile_expr(statement.condition)
+            builder.branch(Opcode.IFEQ, end_label)
+            self.compile_block(statement.body)
+            builder.branch(Opcode.GOTO, loop_label)
+            builder.bind(end_label)
+        elif isinstance(statement, ast.Return):
+            signature = self.signatures.function(
+                self.class_name, self.func.name
+            )
+            if statement.value is not None:
+                if not signature.returns_value:  # pragma: no cover
+                    raise self.error("inconsistent return inference")
+                self.compile_expr(statement.value)
+                builder.emit(Opcode.IRETURN)
+            elif signature.returns_value:
+                raise self.error(
+                    "bare 'return' in a value-returning function"
+                )
+            else:
+                builder.emit(Opcode.RETURN)
+        elif isinstance(statement, ast.Print):
+            self.compile_expr(statement.value)
+            builder.emit(Opcode.SYS, SysCall.PRINT)
+        elif isinstance(statement, ast.Halt):
+            builder.emit(Opcode.SYS, SysCall.HALT)
+        elif isinstance(statement, ast.ExprStmt):
+            if isinstance(statement.value, ast.Call):
+                self._track(self._depth(statement.value))
+                self._compile_call(statement.value, want_value=False)
+            else:
+                self.compile_expr(statement.value)
+                builder.emit(Opcode.POP)
+        else:
+            raise self.error(f"cannot compile statement {statement!r}")
+
+    def finish(self) -> "list":
+        """Terminate and return the instruction list."""
+        signature = self.signatures.function(
+            self.class_name, self.func.name
+        )
+        # Fallback epilogue: harmless if every path returned already.
+        if signature.returns_value:
+            self.builder.emit(Opcode.ICONST, 0)
+            self.builder.emit(Opcode.IRETURN)
+        else:
+            self.builder.emit(Opcode.RETURN)
+        return self.builder.build()
+
+
+def compile_ast(program_node: ast.ProgramNode) -> Program:
+    """Compile a parsed Mini program into class files."""
+    signatures = _SignatureTable(program_node)
+    classes = []
+    entry: Optional[MethodId] = None
+    for class_node in program_node.classes:
+        builder = ClassFileBuilder(class_node.name)
+        for global_node in class_node.globals:
+            builder.add_field(
+                global_node.name,
+                initial_value=global_node.initial_value,
+            )
+        for func in class_node.funcs:
+            compiler = _FunctionCompiler(
+                builder, class_node.name, func, signatures
+            )
+            compiler.compile_block(func.body)
+            instructions = compiler.finish()
+            signature = signatures.function(class_node.name, func.name)
+            builder.add_method(
+                func.name,
+                signature.descriptor,
+                instructions,
+                max_stack=compiler.max_stack,
+                max_locals=max(len(compiler.slots), 1),
+            )
+            if func.name == "main" and entry is None:
+                entry = MethodId(class_node.name, "main")
+        classes.append(builder.build())
+    if entry is None:
+        raise CompileError("no 'main' function in any class")
+    return Program(classes=classes, entry_point=entry)
+
+
+def compile_source(source: str) -> Program:
+    """Compile Mini source text into a runnable Program.
+
+    Raises:
+        CompileError: On any lexical, syntactic, or semantic error.
+    """
+    return compile_ast(parse(source))

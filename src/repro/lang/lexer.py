@@ -1,0 +1,167 @@
+"""Lexer for Mini, the toy source language of the workload suite.
+
+Mini is the "compiler-based" front half of the paper's pipeline: the
+benchmarks are authored in Mini, compiled to class files, and everything
+downstream (profiling, reordering, partitioning, transfer) operates on
+the compiled artifacts just as the paper's tools operated on javac
+output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import CompileError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"
+    INT = "int"
+    STRING = "string"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "global",
+        "func",
+        "var",
+        "if",
+        "else",
+        "while",
+        "return",
+        "print",
+        "halt",
+        "new",
+        "len",
+        "rand",
+        "time",
+    }
+)
+
+_OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "=",
+)
+
+_PUNCTUATION = "(){}[];,."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r} at line {self.line}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Mini source.
+
+    Raises:
+        CompileError: On unterminated strings or stray characters.
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> CompileError:
+        return CompileError(f"line {line}:{column}: {message}")
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end < 0 or "\n" in source[index + 1 : end]:
+                raise error("unterminated string literal")
+            text = source[index + 1 : end]
+            tokens.append(Token(TokenKind.STRING, text, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            tokens.append(
+                Token(TokenKind.INT, source[start:index], line, column)
+            )
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+            text = source[start:index]
+            kind = (
+                TokenKind.KEYWORD
+                if text in KEYWORDS
+                else TokenKind.NAME
+            )
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(
+                    Token(TokenKind.OP, operator, line, column)
+                )
+                index += len(operator)
+                column += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

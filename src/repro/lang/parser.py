@@ -1,0 +1,329 @@
+"""Recursive-descent parser for Mini."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import CompileError
+from . import ast
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> CompileError:
+        token = self.current
+        return CompileError(
+            f"line {token.line}:{token.column}: {message} "
+            f"(found {token.text!r})"
+        )
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != TokenKind.EOF:
+            self.position += 1
+        return token
+
+    def check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(
+        self, kind: TokenKind, text: Optional[str] = None
+    ) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            expected = text if text is not None else kind.value
+            raise self.error(f"expected {expected!r}")
+        return self.advance()
+
+    # -- grammar --------------------------------------------------------
+
+    def parse_program(self) -> ast.ProgramNode:
+        classes = []
+        while not self.check(TokenKind.EOF):
+            classes.append(self.parse_class())
+        if not classes:
+            raise self.error("empty program")
+        return ast.ProgramNode(classes=tuple(classes))
+
+    def parse_class(self) -> ast.ClassNode:
+        self.expect(TokenKind.KEYWORD, "class")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.PUNCT, "{")
+        globals_: List[ast.GlobalNode] = []
+        funcs: List[ast.FuncNode] = []
+        while not self.accept(TokenKind.PUNCT, "}"):
+            if self.check(TokenKind.KEYWORD, "global"):
+                globals_.append(self.parse_global())
+            elif self.check(TokenKind.KEYWORD, "func"):
+                funcs.append(self.parse_func())
+            else:
+                raise self.error("expected 'global' or 'func'")
+        return ast.ClassNode(
+            name=name, globals=tuple(globals_), funcs=tuple(funcs)
+        )
+
+    def parse_global(self) -> ast.GlobalNode:
+        self.expect(TokenKind.KEYWORD, "global")
+        name = self.expect(TokenKind.NAME).text
+        initial: Optional[int] = None
+        if self.accept(TokenKind.OP, "="):
+            negative = bool(self.accept(TokenKind.OP, "-"))
+            literal = self.expect(TokenKind.INT)
+            initial = -int(literal.text) if negative else int(literal.text)
+        self.expect(TokenKind.PUNCT, ";")
+        return ast.GlobalNode(name=name, initial_value=initial)
+
+    def parse_func(self) -> ast.FuncNode:
+        self.expect(TokenKind.KEYWORD, "func")
+        name = self.expect(TokenKind.NAME).text
+        self.expect(TokenKind.PUNCT, "(")
+        params: List[str] = []
+        if not self.check(TokenKind.PUNCT, ")"):
+            params.append(self.expect(TokenKind.NAME).text)
+            while self.accept(TokenKind.PUNCT, ","):
+                params.append(self.expect(TokenKind.NAME).text)
+        self.expect(TokenKind.PUNCT, ")")
+        body = self.parse_block()
+        if len(params) != len(set(params)):
+            raise CompileError(
+                f"duplicate parameter names in func {name!r}"
+            )
+        return ast.FuncNode(
+            name=name, params=tuple(params), body=body
+        )
+
+    def parse_block(self) -> Tuple[ast.Stmt, ...]:
+        self.expect(TokenKind.PUNCT, "{")
+        statements: List[ast.Stmt] = []
+        while not self.accept(TokenKind.PUNCT, "}"):
+            statements.append(self.parse_statement())
+        return tuple(statements)
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.accept(TokenKind.KEYWORD, "var"):
+            name = self.expect(TokenKind.NAME).text
+            value = None
+            if self.accept(TokenKind.OP, "="):
+                value = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.VarDecl(name=name, value=value)
+        if self.accept(TokenKind.KEYWORD, "return"):
+            value = None
+            if not self.check(TokenKind.PUNCT, ";"):
+                value = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.Return(value=value)
+        if self.accept(TokenKind.KEYWORD, "print"):
+            self.expect(TokenKind.PUNCT, "(")
+            value = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.Print(value=value)
+        if self.accept(TokenKind.KEYWORD, "halt"):
+            self.expect(TokenKind.PUNCT, ";")
+            return ast.Halt()
+        if self.accept(TokenKind.KEYWORD, "if"):
+            self.expect(TokenKind.PUNCT, "(")
+            condition = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            then_body = self.parse_block()
+            else_body: Tuple[ast.Stmt, ...] = ()
+            if self.accept(TokenKind.KEYWORD, "else"):
+                if self.check(TokenKind.KEYWORD, "if"):
+                    else_body = (self.parse_statement(),)
+                else:
+                    else_body = self.parse_block()
+            return ast.If(
+                condition=condition,
+                then_body=then_body,
+                else_body=else_body,
+            )
+        if self.accept(TokenKind.KEYWORD, "while"):
+            self.expect(TokenKind.PUNCT, "(")
+            condition = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            body = self.parse_block()
+            return ast.While(condition=condition, body=body)
+        return self.parse_assignment_or_expr()
+
+    def parse_assignment_or_expr(self) -> ast.Stmt:
+        expr = self.parse_expr()
+        if self.accept(TokenKind.OP, "="):
+            value = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ";")
+            if isinstance(expr, ast.VarRef):
+                return ast.Assign(name=expr.name, value=value)
+            if isinstance(expr, ast.GlobalRef):
+                return ast.GlobalAssign(
+                    class_name=expr.class_name,
+                    field_name=expr.field_name,
+                    value=value,
+                )
+            if isinstance(expr, ast.Index):
+                return ast.IndexAssign(
+                    array=expr.array, index=expr.index, value=value
+                )
+            raise self.error("invalid assignment target")
+        self.expect(TokenKind.PUNCT, ";")
+        return ast.ExprStmt(value=expr)
+
+    # -- expressions (precedence climbing) --------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.accept(TokenKind.OP, "||"):
+            left = ast.Binary(op="||", left=left, right=self.parse_and())
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_comparison()
+        while self.accept(TokenKind.OP, "&&"):
+            left = ast.Binary(
+                op="&&", left=left, right=self.parse_comparison()
+            )
+        return left
+
+    _COMPARISONS = ("==", "!=", "<=", ">=", "<", ">")
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_additive()
+        for op in self._COMPARISONS:
+            if self.accept(TokenKind.OP, op):
+                return ast.Binary(
+                    op=op, left=left, right=self.parse_additive()
+                )
+        return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while True:
+            if self.accept(TokenKind.OP, "+"):
+                left = ast.Binary(
+                    op="+", left=left, right=self.parse_multiplicative()
+                )
+            elif self.accept(TokenKind.OP, "-"):
+                left = ast.Binary(
+                    op="-", left=left, right=self.parse_multiplicative()
+                )
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            matched = None
+            for op in ("*", "/", "%"):
+                if self.accept(TokenKind.OP, op):
+                    matched = op
+                    break
+            if matched is None:
+                return left
+            left = ast.Binary(
+                op=matched, left=left, right=self.parse_unary()
+            )
+
+    def parse_unary(self) -> ast.Expr:
+        if self.accept(TokenKind.OP, "-"):
+            return ast.Unary(op="-", operand=self.parse_unary())
+        if self.accept(TokenKind.OP, "!"):
+            return ast.Unary(op="!", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while self.accept(TokenKind.PUNCT, "["):
+            index = self.parse_expr()
+            self.expect(TokenKind.PUNCT, "]")
+            expr = ast.Index(array=expr, index=index)
+        return expr
+
+    def parse_args(self) -> Tuple[ast.Expr, ...]:
+        self.expect(TokenKind.PUNCT, "(")
+        args: List[ast.Expr] = []
+        if not self.check(TokenKind.PUNCT, ")"):
+            args.append(self.parse_expr())
+            while self.accept(TokenKind.PUNCT, ","):
+                args.append(self.parse_expr())
+        self.expect(TokenKind.PUNCT, ")")
+        return tuple(args)
+
+    def parse_primary(self) -> ast.Expr:
+        if self.accept(TokenKind.PUNCT, "("):
+            expr = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            return expr
+        token = self.current
+        if token.kind == TokenKind.INT:
+            self.advance()
+            return ast.IntLit(value=int(token.text))
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return ast.StrLit(value=token.text)
+        if self.accept(TokenKind.KEYWORD, "new"):
+            self.expect(TokenKind.PUNCT, "[")
+            size = self.parse_expr()
+            self.expect(TokenKind.PUNCT, "]")
+            return ast.NewArray(size=size)
+        if self.accept(TokenKind.KEYWORD, "len"):
+            self.expect(TokenKind.PUNCT, "(")
+            array = self.parse_expr()
+            self.expect(TokenKind.PUNCT, ")")
+            return ast.Len(array=array)
+        if self.accept(TokenKind.KEYWORD, "rand"):
+            self.expect(TokenKind.PUNCT, "(")
+            self.expect(TokenKind.PUNCT, ")")
+            return ast.Rand()
+        if self.accept(TokenKind.KEYWORD, "time"):
+            self.expect(TokenKind.PUNCT, "(")
+            self.expect(TokenKind.PUNCT, ")")
+            return ast.Time()
+        if token.kind == TokenKind.NAME:
+            self.advance()
+            if self.accept(TokenKind.PUNCT, "."):
+                member = self.expect(TokenKind.NAME).text
+                if self.check(TokenKind.PUNCT, "("):
+                    return ast.Call(
+                        class_name=token.text,
+                        func_name=member,
+                        args=self.parse_args(),
+                    )
+                return ast.GlobalRef(
+                    class_name=token.text, field_name=member
+                )
+            if self.check(TokenKind.PUNCT, "("):
+                return ast.Call(
+                    class_name=None,
+                    func_name=token.text,
+                    args=self.parse_args(),
+                )
+            return ast.VarRef(name=token.text)
+        raise self.error("expected an expression")
+
+
+def parse(source: str) -> ast.ProgramNode:
+    """Parse Mini source into an AST.
+
+    Raises:
+        CompileError: On any lexical or syntactic error.
+    """
+    return _Parser(tokenize(source)).parse_program()

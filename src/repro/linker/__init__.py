@@ -1,0 +1,22 @@
+"""Incremental linking: verification, preparation, lazy resolution."""
+
+from .linker import IncrementalLinker, LinkCostModel, LinkReport
+from .resolution import ResolutionTable, ResolvedRef
+from .verifier import (
+    verify_class,
+    verify_global_data,
+    verify_method,
+    verify_structure,
+)
+
+__all__ = [
+    "IncrementalLinker",
+    "LinkCostModel",
+    "LinkReport",
+    "ResolutionTable",
+    "ResolvedRef",
+    "verify_class",
+    "verify_global_data",
+    "verify_method",
+    "verify_structure",
+]

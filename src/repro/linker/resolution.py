@@ -1,0 +1,146 @@
+"""Symbolic reference resolution, lazy at procedure granularity (§3.1).
+
+"While verification and preparation can be performed once the global
+data is transferred, resolution can be performed lazily as procedures
+are invoked."  :class:`ResolutionTable` resolves the references a
+single method touches, on demand, recording which targets are internal
+(another method/field of the program) and which are external (runtime
+library) — the non-strict analogue of replacing symbolic references
+with direct references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..bytecode import Opcode
+from ..classfile import FieldRefEntry, MethodRefEntry
+from ..errors import LinkError
+from ..program import MethodId, Program
+
+__all__ = ["ResolvedRef", "ResolutionTable"]
+
+
+@dataclass(frozen=True)
+class ResolvedRef:
+    """One resolved symbolic reference.
+
+    Attributes:
+        kind: ``"method"`` or ``"field"``.
+        target_class: Referenced class name.
+        target_name: Referenced member name.
+        descriptor: Member descriptor.
+        internal: True when the target is defined in the program.
+    """
+
+    kind: str
+    target_class: str
+    target_name: str
+    descriptor: str
+    internal: bool
+
+
+class ResolutionTable:
+    """Lazily resolves the references each method uses.
+
+    Args:
+        program: The program whose classes resolve against each other.
+        strict_missing: When True, a reference to a *program* class
+            whose member does not exist raises
+            :class:`~repro.errors.LinkError` (a reference to an
+            entirely unknown class is always treated as external).
+    """
+
+    def __init__(
+        self, program: Program, strict_missing: bool = True
+    ) -> None:
+        self.program = program
+        self.strict_missing = strict_missing
+        self._resolved: Dict[MethodId, List[ResolvedRef]] = {}
+
+    @property
+    def resolved_methods(self) -> Set[MethodId]:
+        return set(self._resolved)
+
+    def is_resolved(self, method_id: MethodId) -> bool:
+        return method_id in self._resolved
+
+    def resolve_method(self, method_id: MethodId) -> List[ResolvedRef]:
+        """Resolve (once) every reference ``method_id``'s code makes."""
+        if method_id in self._resolved:
+            return self._resolved[method_id]
+        classfile = self.program.class_named(method_id.class_name)
+        pool = classfile.constant_pool
+        method = classfile.method(method_id.method_name)
+        refs: List[ResolvedRef] = []
+        for instruction in method.instructions:
+            if instruction.opcode == Opcode.CALL:
+                entry = pool.get(instruction.operand)
+                if not isinstance(entry, MethodRefEntry):
+                    raise LinkError(
+                        f"{method_id}: CALL operand is not a MethodRef"
+                    )
+                refs.append(
+                    self._resolve_member(
+                        method_id, pool, instruction.operand, "method"
+                    )
+                )
+            elif instruction.opcode in (
+                Opcode.GETSTATIC,
+                Opcode.PUTSTATIC,
+            ):
+                entry = pool.get(instruction.operand)
+                if not isinstance(entry, FieldRefEntry):
+                    raise LinkError(
+                        f"{method_id}: field access operand is not a "
+                        "FieldRef"
+                    )
+                refs.append(
+                    self._resolve_member(
+                        method_id, pool, instruction.operand, "field"
+                    )
+                )
+        self._resolved[method_id] = refs
+        return refs
+
+    def _resolve_member(
+        self, method_id: MethodId, pool, index: int, kind: str
+    ) -> ResolvedRef:
+        target_class, target_name, descriptor = pool.member_ref(index)
+        internal = False
+        if self.program.has_class(target_class):
+            classfile = self.program.class_named(target_class)
+            if kind == "method":
+                internal = classfile.has_method(target_name)
+            else:
+                internal = any(
+                    f.name == target_name for f in classfile.fields
+                )
+            if not internal and self.strict_missing:
+                raise LinkError(
+                    f"{method_id}: unresolved {kind} reference "
+                    f"{target_class}.{target_name}"
+                )
+        return ResolvedRef(
+            kind=kind,
+            target_class=target_class,
+            target_name=target_name,
+            descriptor=descriptor,
+            internal=internal,
+        )
+
+    def resolve_all(self) -> Dict[MethodId, List[ResolvedRef]]:
+        """Eager resolution of every method (strict-style linking)."""
+        for method_id in self.program.method_ids():
+            self.resolve_method(method_id)
+        return dict(self._resolved)
+
+    def external_references(self) -> Set[Tuple[str, str]]:
+        """(class, member) pairs resolved as external so far."""
+        return {
+            (ref.target_class, ref.target_name)
+            for refs in self._resolved.values()
+            for ref in refs
+            if not ref.internal
+        }

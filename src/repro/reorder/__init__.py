@@ -1,0 +1,25 @@
+"""First-use reordering: static estimation, profiles, restructuring."""
+
+from .first_use import FirstUseEntry, FirstUseOrder, textual_first_use
+from .profile_estimator import (
+    order_from_profile,
+    profile_first_use,
+    profile_program,
+)
+from .restructure import restructure
+from .splitting import split_large_methods, split_method
+from .static_estimator import StaticFirstUseEstimator, estimate_first_use
+
+__all__ = [
+    "FirstUseEntry",
+    "FirstUseOrder",
+    "textual_first_use",
+    "order_from_profile",
+    "profile_first_use",
+    "profile_program",
+    "restructure",
+    "split_large_methods",
+    "split_method",
+    "StaticFirstUseEstimator",
+    "estimate_first_use",
+]

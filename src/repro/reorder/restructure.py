@@ -1,0 +1,34 @@
+"""Class file restructuring (paper §4, Figure 3).
+
+Restructuring reorders the methods *within* each class file into
+first-use order and, for the transfer engine's benefit, permutes the
+program's class list into class-first-use order.  Method bodies, global
+data, and sizes are untouched — only layout changes.
+"""
+
+from __future__ import annotations
+
+from ..program import Program
+from .first_use import FirstUseOrder
+
+__all__ = ["restructure"]
+
+
+def restructure(program: Program, order: FirstUseOrder) -> Program:
+    """Apply a first-use order to a program's layout.
+
+    Returns:
+        A new :class:`~repro.program.Program`; the input is unchanged.
+
+    Raises:
+        ReorderError: If ``order`` does not cover the program exactly.
+    """
+    order.validate_against(program)
+    reordered = program.restructured(order.method_orders())
+    class_order = order.class_order()
+    # A class with no methods (globals only) never appears in a
+    # first-use order; keep it, at the end, in original order.
+    for classfile in program.classes:
+        if classfile.name not in class_order:
+            class_order.append(classfile.name)
+    return reordered.with_class_order(class_order)

@@ -1,0 +1,233 @@
+"""Procedure splitting (the paper's §4 future-work hook).
+
+The paper notes that "large procedures can still benefit by using the
+compiler to break the procedure up into smaller procedures", but does
+not implement it.  This module provides a conservative splitter:
+
+* only **straight-line** methods (no branches) are split — exactly the
+  shape of large initializer/table-building methods, the usual outliers;
+* split points are placed where the simulated operand stack is empty,
+  so each piece is a well-formed method;
+* each piece passes the locals the next piece reads as arguments and
+  tail-calls it, propagating the return value.
+
+The transformation preserves semantics (tested against the VM) and
+turns one oversized transfer unit into several smaller ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..bytecode import Instruction, Opcode, SysCall
+from ..classfile import ClassFile, MethodInfo, parse_descriptor
+from ..errors import ReorderError
+from ..program import Program
+
+__all__ = ["split_method", "split_large_methods"]
+
+
+def _stack_effect(
+    classfile: ClassFile, instruction: Instruction
+) -> Tuple[int, int]:
+    """(pops, pushes) including data-dependent CALL/SYS."""
+    info = instruction.info
+    if instruction.opcode == Opcode.CALL:
+        _, _, descriptor = classfile.constant_pool.member_ref(
+            instruction.operand
+        )
+        parsed = parse_descriptor(descriptor)
+        return parsed.arity, 1 if parsed.returns_value else 0
+    if instruction.opcode == Opcode.SYS:
+        try:
+            return SysCall.STACK_EFFECT[instruction.operand]
+        except KeyError as exc:
+            raise ReorderError(
+                f"unknown SYS code {instruction.operand}"
+            ) from exc
+    if info.pops < 0 or info.pushes < 0:  # pragma: no cover - closed set
+        raise ReorderError(f"unmodelled stack effect for {info.mnemonic}")
+    return info.pops, info.pushes
+
+
+def _split_points(
+    classfile: ClassFile, instructions: List[Instruction]
+) -> List[int]:
+    """Indexes *after* which the operand stack is statically empty."""
+    points: List[int] = []
+    depth = 0
+    for index, instruction in enumerate(instructions[:-1]):
+        pops, pushes = _stack_effect(classfile, instruction)
+        depth -= pops
+        if depth < 0:
+            raise ReorderError("stack underflow in straight-line code")
+        depth += pushes
+        if depth == 0:
+            points.append(index + 1)
+    return points
+
+
+def _max_local_used(instructions: List[Instruction]) -> int:
+    """1 + highest LOAD/STORE slot, or 0 when none are used."""
+    highest = -1
+    for instruction in instructions:
+        if instruction.opcode in (Opcode.LOAD, Opcode.STORE):
+            highest = max(highest, instruction.operand)
+    return highest + 1
+
+
+def split_method(
+    classfile: ClassFile,
+    method_name: str,
+    max_unit_bytes: int,
+) -> ClassFile:
+    """Split one straight-line method into pieces of bounded size.
+
+    Args:
+        classfile: Class containing the method.
+        method_name: Method to split.
+        max_unit_bytes: Target maximum code bytes per piece.
+
+    Returns:
+        A new :class:`ClassFile`; untouched methods are shared.
+
+    Raises:
+        ReorderError: If the method branches, has no usable split
+            point, or is already within the bound.
+    """
+    method = classfile.method(method_name)
+    instructions = method.instructions
+    if any(
+        instruction.info.is_branch for instruction in instructions
+    ):
+        raise ReorderError(
+            f"{method_name!r} has branches; only straight-line methods "
+            "can be split"
+        )
+    if any(
+        instruction.info.is_return
+        for instruction in instructions[:-1]
+    ):
+        raise ReorderError(f"{method_name!r} has early returns")
+    if method.code_bytes <= max_unit_bytes:
+        raise ReorderError(
+            f"{method_name!r} is already within {max_unit_bytes} bytes"
+        )
+
+    candidate_points = _split_points(classfile, instructions)
+    if not candidate_points:
+        raise ReorderError(f"{method_name!r} has no empty-stack point")
+
+    # Greedy: cut at the last candidate that keeps the piece in bounds.
+    pieces: List[List[Instruction]] = []
+    start = 0
+    while start < len(instructions):
+        budget = 0
+        cut: Optional[int] = None
+        for index in range(start, len(instructions)):
+            budget += instructions[index].size
+            if budget > max_unit_bytes and cut is not None:
+                break
+            if index + 1 in candidate_points:
+                cut = index + 1
+        if cut is None or cut <= start or budget <= max_unit_bytes:
+            pieces.append(instructions[start:])
+            break
+        pieces.append(instructions[start:cut])
+        start = cut
+
+    if len(pieces) < 2:
+        raise ReorderError(
+            f"{method_name!r}: no split produces more than one piece"
+        )
+
+    return_type = method.parsed_descriptor.return_type
+    pool = classfile.constant_pool
+    new_methods: List[MethodInfo] = []
+    # Build from the last piece backwards so each piece can call the next.
+    next_name: Optional[str] = None
+    next_arg_count = 0
+    for piece_number in range(len(pieces) - 1, -1, -1):
+        piece = pieces[piece_number]
+        is_first = piece_number == 0
+        is_last = piece_number == len(pieces) - 1
+        if is_first:
+            name = method.name
+            arg_count = method.parsed_descriptor.arity
+            descriptor = method.descriptor
+        else:
+            name = f"{method.name}${piece_number}"
+            # This piece reads its own slots and forwards the next
+            # piece's arguments, so it needs the larger of the two.
+            arg_count = max(_max_local_used(piece), next_arg_count)
+            descriptor = f"({'I' * arg_count}){return_type}"
+        code = list(piece)
+        if not is_last:
+            assert next_name is not None
+            for slot in range(next_arg_count):
+                code.append(Instruction(Opcode.LOAD, (slot,)))
+            ref = pool.add_method_ref(
+                classfile.name,
+                next_name,
+                f"({'I' * next_arg_count}){return_type}",
+            )
+            code.append(Instruction(Opcode.CALL, (ref,)))
+            code.append(
+                Instruction(
+                    Opcode.IRETURN if return_type != "V" else Opcode.RETURN
+                )
+            )
+        new_methods.append(
+            MethodInfo(
+                name=name,
+                descriptor=descriptor,
+                instructions=code,
+                max_stack=method.max_stack + next_arg_count,
+                max_locals=max(method.max_locals, arg_count),
+                local_data=method.local_data if is_first else b"",
+                access_flags=method.access_flags,
+            )
+        )
+        next_name = name
+        next_arg_count = arg_count
+
+    new_methods.reverse()
+    methods: List[MethodInfo] = []
+    for existing in classfile.methods:
+        if existing.name == method_name:
+            methods.extend(new_methods)
+        else:
+            methods.append(existing)
+    return ClassFile(
+        name=classfile.name,
+        constant_pool=pool,
+        access_flags=classfile.access_flags,
+        interfaces=classfile.interfaces,
+        fields=classfile.fields,
+        methods=methods,
+        attributes=classfile.attributes,
+    )
+
+
+def split_large_methods(
+    program: Program, max_unit_bytes: int
+) -> Program:
+    """Split every splittable oversized method in a program.
+
+    Methods that cannot be split (branches, no split point) are left
+    alone — splitting is an opportunistic optimization.
+    """
+    classes = []
+    for classfile in program.classes:
+        current = classfile
+        for method in list(classfile.methods):
+            if method.code_bytes <= max_unit_bytes:
+                continue
+            try:
+                current = split_method(
+                    current, method.name, max_unit_bytes
+                )
+            except ReorderError:
+                continue
+        classes.append(current)
+    return Program(classes=classes, entry_point=program.entry_point)

@@ -1,0 +1,214 @@
+"""Persistence: programs, traces, and profiles on disk.
+
+A :class:`~repro.program.Program` is stored as a directory of
+``<ClassName>.rclass`` wire images plus a ``program.json`` manifest
+(class transfer order and entry point) — mirroring how a Java
+application is a directory/jar of ``.class`` files.  Traces and
+first-use profiles serialize to JSON, so an experiment can be profiled
+once and replayed many times (or shipped to another machine).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .classfile import deserialize, serialize
+from .errors import ClassFileError, ReproError
+from .program import MethodId, Program
+from .vm import (
+    ExecutionTrace,
+    FirstUseEvent,
+    FirstUseProfile,
+    MethodProfile,
+    TraceSegment,
+)
+
+__all__ = [
+    "save_program",
+    "load_program",
+    "save_trace",
+    "load_trace",
+    "save_profile",
+    "load_profile",
+]
+
+_MANIFEST = "program.json"
+
+
+def _class_filename(name: str) -> str:
+    # Class names may contain '/' (package separators); flatten them.
+    return name.replace("/", "__") + ".rclass"
+
+
+def save_program(program: Program, directory: Union[str, Path]) -> Path:
+    """Write a program to ``directory`` (created if needed).
+
+    Returns:
+        The directory path.
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "classes": [],
+        "entry_point": None,
+    }
+    for classfile in program.classes:
+        filename = _class_filename(classfile.name)
+        (path / filename).write_bytes(serialize(classfile))
+        manifest["classes"].append(
+            {"name": classfile.name, "file": filename}
+        )
+    if program.entry_point is not None:
+        manifest["entry_point"] = {
+            "class": program.entry_point.class_name,
+            "method": program.entry_point.method_name,
+        }
+    (path / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_program(directory: Union[str, Path]) -> Program:
+    """Load a program previously written by :func:`save_program`.
+
+    Raises:
+        ClassFileError: On a missing manifest, missing class file, or a
+            corrupt wire image.
+    """
+    path = Path(directory)
+    manifest_path = path / _MANIFEST
+    if not manifest_path.is_file():
+        raise ClassFileError(f"no {_MANIFEST} in {path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ClassFileError(f"corrupt manifest in {path}") from exc
+    classes = []
+    for record in manifest.get("classes", []):
+        class_path = path / record["file"]
+        if not class_path.is_file():
+            raise ClassFileError(f"missing class file {class_path}")
+        classfile = deserialize(class_path.read_bytes())
+        if classfile.name != record["name"]:
+            raise ClassFileError(
+                f"{class_path}: holds class {classfile.name!r}, "
+                f"manifest says {record['name']!r}"
+            )
+        classes.append(classfile)
+    entry = manifest.get("entry_point")
+    entry_point = (
+        MethodId(entry["class"], entry["method"]) if entry else None
+    )
+    return Program(classes=classes, entry_point=entry_point)
+
+
+# --- traces -----------------------------------------------------------
+
+
+def save_trace(trace: ExecutionTrace, path: Union[str, Path]) -> Path:
+    """Write a trace as JSON."""
+    payload = {
+        "segments": [
+            [
+                segment.method.class_name,
+                segment.method.method_name,
+                segment.instructions,
+            ]
+            for segment in trace.segments
+        ]
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload))
+    return target
+
+
+def load_trace(path: Union[str, Path]) -> ExecutionTrace:
+    """Load a trace written by :func:`save_trace`.
+
+    Raises:
+        ReproError: On malformed content.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+        segments = [
+            TraceSegment(MethodId(cls, method), int(count))
+            for cls, method, count in payload["segments"]
+        ]
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt trace file {path}") from exc
+    return ExecutionTrace(segments=segments)
+
+
+# --- profiles ----------------------------------------------------------
+
+
+def save_profile(
+    profile: FirstUseProfile, path: Union[str, Path]
+) -> Path:
+    """Write a first-use profile as JSON."""
+    payload = {
+        "total_instructions": profile.total_instructions,
+        "events": [
+            {
+                "class": event.method.class_name,
+                "method": event.method.method_name,
+                "index": event.index,
+                "instructions_before": event.dynamic_instructions_before,
+                "unique_bytes_before": event.unique_bytes_before,
+            }
+            for event in profile.events
+        ],
+        "stats": [
+            {
+                "class": method_id.class_name,
+                "method": method_id.method_name,
+                "invocations": stats.invocations,
+                "dynamic_instructions": stats.dynamic_instructions,
+                "unique_bytes": stats.unique_bytes,
+            }
+            for method_id, stats in profile.method_stats.items()
+        ],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload))
+    return target
+
+
+def load_profile(path: Union[str, Path]) -> FirstUseProfile:
+    """Load a profile written by :func:`save_profile`.
+
+    Raises:
+        ReproError: On malformed content.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+        events = [
+            FirstUseEvent(
+                method=MethodId(record["class"], record["method"]),
+                index=int(record["index"]),
+                dynamic_instructions_before=int(
+                    record["instructions_before"]
+                ),
+                unique_bytes_before=int(record["unique_bytes_before"]),
+            )
+            for record in payload["events"]
+        ]
+        stats: Dict[MethodId, MethodProfile] = {}
+        for record in payload["stats"]:
+            stats[MethodId(record["class"], record["method"])] = (
+                MethodProfile(
+                    invocations=int(record["invocations"]),
+                    dynamic_instructions=int(
+                        record["dynamic_instructions"]
+                    ),
+                    unique_bytes=int(record["unique_bytes"]),
+                )
+            )
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"corrupt profile file {path}") from exc
+    return FirstUseProfile(
+        events=events,
+        method_stats=stats,
+        total_instructions=int(payload.get("total_instructions", 0)),
+    )

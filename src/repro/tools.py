@@ -1,0 +1,198 @@
+"""repro-inspect: a command-line toolbox over stored programs.
+
+Subcommands (all operate on a program directory written by
+:func:`repro.storage.save_program`):
+
+* ``disasm DIR CLASS [METHOD]`` — disassemble a method (or list them);
+* ``layout DIR`` — per-class byte layout (global vs per-method units);
+* ``partition DIR`` — Table-9-style global data split per class;
+* ``order DIR`` — the static first-use order;
+* ``verify DIR`` — run the full verifier over every class;
+* ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
+  stored trace against strict and non-strict transfer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .classfile import class_layout
+from .core import run_nonstrict, strict_baseline
+from .datapart import partition_class
+from .errors import ReproError
+from .linker import verify_class
+from .reorder import estimate_first_use
+from .storage import load_program, load_trace
+from .transfer import MODEM_LINK, T1_LINK
+
+__all__ = ["main"]
+
+_LINKS = {"t1": T1_LINK, "modem": MODEM_LINK}
+
+
+def _cmd_disasm(arguments) -> int:
+    from .bytecode import disassemble
+
+    program = load_program(arguments.directory)
+    classfile = program.class_named(arguments.class_name)
+    if arguments.method is None:
+        for method in classfile.methods:
+            print(
+                f"{method.name}{method.descriptor}  "
+                f"[{len(method.instructions)} instructions, "
+                f"{method.size} bytes]"
+            )
+        return 0
+    method = classfile.method(arguments.method)
+    print(f"; {classfile.name}.{method.name}{method.descriptor}")
+    print(disassemble(method.instructions), end="")
+    return 0
+
+
+def _cmd_layout(arguments) -> int:
+    program = load_program(arguments.directory)
+    for classfile in program.classes:
+        layout = class_layout(classfile)
+        print(
+            f"{classfile.name}: {layout.strict_size} bytes "
+            f"(global {layout.global_size}, "
+            f"{len(layout.method_sizes)} methods)"
+        )
+        if arguments.verbose:
+            for name, size in layout.method_sizes:
+                print(f"  {name}: {size} bytes")
+    return 0
+
+
+def _cmd_partition(arguments) -> int:
+    print(
+        f"{'class':30} {'first':>8} {'methods':>8} {'unused':>8}"
+    )
+    program = load_program(arguments.directory)
+    for classfile in program.classes:
+        partition = partition_class(classfile)
+        percentages = partition.percentages()
+        print(
+            f"{classfile.name:30} "
+            f"{percentages['needed_first']:7.1f}% "
+            f"{percentages['in_methods']:7.1f}% "
+            f"{percentages['unused']:7.1f}%"
+        )
+    return 0
+
+
+def _cmd_order(arguments) -> int:
+    program = load_program(arguments.directory)
+    order = estimate_first_use(program)
+    for position, entry in enumerate(order.entries):
+        print(
+            f"{position:4}  {entry.method}  "
+            f"(bytes before: {entry.bytes_before})"
+        )
+    return 0
+
+
+def _cmd_verify(arguments) -> int:
+    program = load_program(arguments.directory)
+    failures = 0
+    for classfile in program.classes:
+        try:
+            verify_class(classfile)
+            print(f"OK    {classfile.name}")
+        except ReproError as error:
+            failures += 1
+            print(f"FAIL  {classfile.name}: {error}")
+    return 1 if failures else 0
+
+
+def _cmd_simulate(arguments) -> int:
+    program = load_program(arguments.directory)
+    trace = load_trace(arguments.trace)
+    link = _LINKS[arguments.link]
+    order = estimate_first_use(program)
+    base = strict_baseline(program, trace, link, arguments.cpi)
+    result = run_nonstrict(
+        program,
+        trace,
+        order,
+        link,
+        arguments.cpi,
+        method=arguments.method,
+        max_streams=arguments.streams,
+        data_partitioning=arguments.partition,
+    )
+    print(f"strict total:      {base.total_cycles:,.0f} cycles")
+    print(f"non-strict total:  {result.total_cycles:,.0f} cycles")
+    print(
+        f"normalized:        "
+        f"{result.normalized_to(base.total_cycles):.1f}%"
+    )
+    print(f"stalls:            {result.stall_count}")
+    print(f"bytes terminated:  {result.bytes_terminated:,.0f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-inspect",
+        description="Inspect and simulate stored repro programs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    disasm = commands.add_parser("disasm", help="disassemble a method")
+    disasm.add_argument("directory")
+    disasm.add_argument("class_name")
+    disasm.add_argument("method", nargs="?")
+    disasm.set_defaults(handler=_cmd_disasm)
+
+    layout = commands.add_parser("layout", help="byte layout per class")
+    layout.add_argument("directory")
+    layout.add_argument("--verbose", action="store_true")
+    layout.set_defaults(handler=_cmd_layout)
+
+    partition = commands.add_parser(
+        "partition", help="global data split per class"
+    )
+    partition.add_argument("directory")
+    partition.set_defaults(handler=_cmd_partition)
+
+    order = commands.add_parser(
+        "order", help="static first-use order"
+    )
+    order.add_argument("directory")
+    order.set_defaults(handler=_cmd_order)
+
+    verify = commands.add_parser("verify", help="verify every class")
+    verify.add_argument("directory")
+    verify.set_defaults(handler=_cmd_verify)
+
+    simulate = commands.add_parser(
+        "simulate", help="co-simulate a stored trace"
+    )
+    simulate.add_argument("directory")
+    simulate.add_argument("trace")
+    simulate.add_argument(
+        "--link", choices=sorted(_LINKS), default="t1"
+    )
+    simulate.add_argument("--cpi", type=float, default=100.0)
+    simulate.add_argument(
+        "--method",
+        choices=("interleaved", "parallel"),
+        default="interleaved",
+    )
+    simulate.add_argument("--streams", type=int, default=None)
+    simulate.add_argument("--partition", action="store_true")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

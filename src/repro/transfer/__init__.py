@@ -1,0 +1,59 @@
+"""Transfer engine: links, units, streams, and methodologies."""
+
+from .base import TransferController
+from .compression import (
+    CompressedInterleavedController,
+    class_compression_ratio,
+    compress_plan,
+    compress_plans,
+    program_compression_ratios,
+)
+from .interleaved import InterleavedController, build_interleaved_file
+from .link import (
+    CPU_HZ,
+    MODEM_LINK,
+    T1_LINK,
+    NetworkLink,
+    link_from_bandwidth,
+)
+from .parallel import ParallelController
+from .schedule import ScheduledStart, TransferSchedule, build_schedule
+from .streams import Stream, StreamEngine
+from .strict import StrictSequentialController
+from .units import (
+    ClassTransferPlan,
+    TransferPolicy,
+    TransferUnit,
+    UnitKind,
+    build_class_plan,
+    build_program_plans,
+)
+
+__all__ = [
+    "TransferController",
+    "CompressedInterleavedController",
+    "class_compression_ratio",
+    "compress_plan",
+    "compress_plans",
+    "program_compression_ratios",
+    "InterleavedController",
+    "build_interleaved_file",
+    "CPU_HZ",
+    "MODEM_LINK",
+    "T1_LINK",
+    "NetworkLink",
+    "link_from_bandwidth",
+    "ParallelController",
+    "ScheduledStart",
+    "TransferSchedule",
+    "build_schedule",
+    "Stream",
+    "StreamEngine",
+    "StrictSequentialController",
+    "ClassTransferPlan",
+    "TransferPolicy",
+    "TransferUnit",
+    "UnitKind",
+    "build_class_plan",
+    "build_program_plans",
+]

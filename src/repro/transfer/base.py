@@ -1,0 +1,51 @@
+"""Controller interface shared by the transfer methodologies.
+
+A controller owns the mapping from methods to the transfer units whose
+arrival they require, decides when streams are requested from the
+:class:`~repro.transfer.streams.StreamEngine`, and reacts to execution
+stalls (mispredictions).  The co-simulator drives it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..program import MethodId
+from .streams import StreamEngine
+from .units import TransferUnit
+
+__all__ = ["TransferController"]
+
+
+class TransferController:
+    """Base controller: subclasses implement one transfer methodology."""
+
+    #: Human-readable name used in reports.
+    name = "abstract"
+
+    #: Concurrent-stream limit the engine should enforce (None = no
+    #: limit); only the parallel methodology uses more than one stream.
+    max_streams: Optional[int] = None
+
+    def setup(self, engine: StreamEngine) -> None:
+        """Request initial streams; called once at simulation start."""
+        raise NotImplementedError
+
+    def required_unit(self, method_id: MethodId) -> TransferUnit:
+        """The unit whose arrival allows ``method_id`` to execute."""
+        raise NotImplementedError
+
+    def next_wakeup(self, engine: StreamEngine) -> Optional[float]:
+        """Next absolute time this controller needs control, if any."""
+        return None
+
+    def on_advance(self, engine: StreamEngine) -> None:
+        """Engine advanced past an event boundary; may admit streams."""
+
+    def on_stall(self, engine: StreamEngine, method_id: MethodId) -> None:
+        """Execution stalled waiting for ``method_id``.
+
+        Mispredicting controllers use this for demand-fetch correction;
+        single-stream controllers need do nothing (the unit is already
+        en route).
+        """

@@ -1,0 +1,114 @@
+"""Interleaved file transfer (paper §5.2, Figure 5).
+
+All class files are composed into a single *virtual interleaved file*:
+method transfer units from different classes are interspersed in
+first-use order, each preceded (on its class's first appearance) by the
+class's global data unit.  The single stream gets the full bandwidth,
+one transfer unit at a time; trailing units (unused global data,
+never-used methods already ordered last) transfer after everything the
+prediction says will be needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..errors import TransferError
+from ..program import MethodId, Program
+from ..reorder import FirstUseOrder
+from .base import TransferController
+from .streams import StreamEngine
+from .units import (
+    ClassTransferPlan,
+    TransferPolicy,
+    TransferUnit,
+    UnitKind,
+    build_program_plans,
+)
+
+__all__ = ["InterleavedController", "build_interleaved_file"]
+
+
+def build_interleaved_file(
+    plans: Dict[str, ClassTransferPlan],
+    order: FirstUseOrder,
+) -> List[TransferUnit]:
+    """Compose the virtual interleaved file's unit sequence.
+
+    For each method in first-use order: the owning class's leading
+    global unit is emitted on first encounter, then the method's unit.
+    Trailing units (unused global data) are appended at the end.
+
+    Raises:
+        TransferError: If the order references a class with no plan.
+    """
+    emitted_classes: Set[str] = set()
+    sequence: List[TransferUnit] = []
+    for method_id in order.interleaved_order():
+        plan = plans.get(method_id.class_name)
+        if plan is None:
+            raise TransferError(
+                f"no transfer plan for class {method_id.class_name!r}"
+            )
+        if method_id.class_name not in emitted_classes:
+            emitted_classes.add(method_id.class_name)
+            leading = plan.units[0]
+            if leading.kind not in (
+                UnitKind.GLOBAL_DATA,
+                UnitKind.GLOBAL_FIRST,
+            ):
+                raise TransferError(
+                    f"plan for {method_id.class_name!r} does not start "
+                    "with a global unit (is it strict?)"
+                )
+            sequence.append(leading)
+        sequence.append(plan.method_unit(method_id.method_name))
+    for class_name, plan in plans.items():
+        for unit in plan.units:
+            if unit.kind == UnitKind.GLOBAL_UNUSED:
+                sequence.append(unit)
+        if class_name not in emitted_classes:
+            # A class none of whose methods are in the order: transfer
+            # it whole at the end.
+            sequence.extend(
+                unit
+                for unit in plan.units
+                if unit.kind != UnitKind.GLOBAL_UNUSED
+            )
+    return sequence
+
+
+class InterleavedController(TransferController):
+    """Single-stream transfer of the virtual interleaved file."""
+
+    name = "interleaved"
+
+    def __init__(
+        self,
+        program: Program,
+        order: FirstUseOrder,
+        data_partitioning: bool = False,
+        block_delimiters: bool = False,
+    ) -> None:
+        policy = (
+            TransferPolicy.DATA_PARTITIONED
+            if data_partitioning
+            else TransferPolicy.NON_STRICT
+        )
+        self.program = program
+        self.order = order
+        self.plans = build_program_plans(
+            program, policy, block_delimiters=block_delimiters
+        )
+        self.sequence = build_interleaved_file(self.plans, order)
+
+    def setup(self, engine: StreamEngine) -> None:
+        engine.request_stream("interleaved", self.sequence)
+
+    def required_unit(self, method_id: MethodId) -> TransferUnit:
+        plan = self.plans.get(method_id.class_name)
+        if plan is None:
+            raise TransferError(
+                f"no transfer plan for class {method_id.class_name!r}"
+            )
+        return plan.method_unit(method_id.method_name)

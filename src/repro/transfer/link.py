@@ -1,0 +1,73 @@
+"""Network link models.
+
+The paper evaluates a T1 line (1 Mb/s) and a 28.8K modem against a
+500 MHz Alpha, quoting ≈3,815 cycles/byte and ≈134,698 cycles/byte
+respectively (§6.1).  We use those exact constants so cycle counts are
+directly comparable in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TransferError
+
+__all__ = ["NetworkLink", "T1_LINK", "MODEM_LINK", "link_from_bandwidth"]
+
+#: Paper's CPU model: 500 MHz DEC Alpha 21164.
+CPU_HZ = 500_000_000
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A fixed-bandwidth link, measured in CPU cycles per byte.
+
+    Attributes:
+        name: Display name ("T1", "modem", ...).
+        cycles_per_byte: CPU cycles needed to transfer one byte.
+    """
+
+    name: str
+    cycles_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_byte <= 0:
+            raise TransferError(
+                f"cycles_per_byte must be positive, got "
+                f"{self.cycles_per_byte}"
+            )
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return 1.0 / self.cycles_per_byte
+
+    def transfer_cycles(self, size_bytes: float) -> float:
+        """Cycles to move ``size_bytes`` at full bandwidth."""
+        if size_bytes < 0:
+            raise TransferError(f"negative transfer size {size_bytes}")
+        return size_bytes * self.cycles_per_byte
+
+    def transfer_seconds(self, size_bytes: float) -> float:
+        """Wall-clock seconds on the paper's 500 MHz CPU."""
+        return self.transfer_cycles(size_bytes) / CPU_HZ
+
+
+def link_from_bandwidth(
+    name: str, bits_per_second: float, cpu_hz: float = CPU_HZ
+) -> NetworkLink:
+    """Build a link from a bandwidth in bits/second."""
+    if bits_per_second <= 0:
+        raise TransferError(
+            f"bandwidth must be positive, got {bits_per_second}"
+        )
+    bytes_per_second = bits_per_second / 8.0
+    return NetworkLink(
+        name=name, cycles_per_byte=cpu_hz / bytes_per_second
+    )
+
+
+#: T1 link: paper's ≈3,815 cycles per byte (1 Mb/s at 500 MHz).
+T1_LINK = NetworkLink("T1", 3815.0)
+
+#: 28.8 Kbaud modem: paper's ≈134,698 cycles per byte.
+MODEM_LINK = NetworkLink("modem", 134698.0)

@@ -1,0 +1,54 @@
+"""Strict sequential transfer: the paper's base case.
+
+"Our base execution was a simulation in which the application
+transferred one class to completion at a time and executed strictly:
+methods execute only when the entire class file in which they are
+contained has been transferred" (§7).  Classes move in program file
+order over a single stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import TransferError
+from ..program import MethodId, Program
+from .base import TransferController
+from .streams import StreamEngine
+from .units import (
+    ClassTransferPlan,
+    TransferPolicy,
+    TransferUnit,
+    build_program_plans,
+)
+
+__all__ = ["StrictSequentialController"]
+
+
+class StrictSequentialController(TransferController):
+    """One stream, whole class files, program file order."""
+
+    name = "strict"
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.plans: Dict[str, ClassTransferPlan] = build_program_plans(
+            program, TransferPolicy.STRICT
+        )
+        self._class_order: List[str] = program.class_names
+
+    def setup(self, engine: StreamEngine) -> None:
+        units: List[TransferUnit] = []
+        for class_name in self._class_order:
+            units.extend(self.plans[class_name].units)
+        if not units:
+            raise TransferError("program has no classes to transfer")
+        engine.request_stream("strict-sequential", units)
+
+    def required_unit(self, method_id: MethodId) -> TransferUnit:
+        plan = self.plans.get(method_id.class_name)
+        if plan is None:
+            raise TransferError(
+                f"no transfer plan for class {method_id.class_name!r}"
+            )
+        return plan.units[0]

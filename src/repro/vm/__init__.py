@@ -1,0 +1,55 @@
+"""Virtual machine: interpreter, frames, instrumentation, tracing."""
+
+from .frame import Frame
+from .instrument import (
+    BasicBlockCounter,
+    CallCounter,
+    Instrument,
+    InstructionCounter,
+)
+from .interpreter import ExecutionResult, VirtualMachine
+from .trace import (
+    ExecutionTrace,
+    FirstUseEvent,
+    FirstUseProfile,
+    MethodProfile,
+    TraceRecorder,
+    TraceSegment,
+    merge_profiles,
+    synthesize_profile,
+)
+
+__all__ = [
+    "Frame",
+    "BasicBlockCounter",
+    "CallCounter",
+    "Instrument",
+    "InstructionCounter",
+    "ExecutionResult",
+    "VirtualMachine",
+    "ExecutionTrace",
+    "FirstUseEvent",
+    "FirstUseProfile",
+    "MethodProfile",
+    "TraceRecorder",
+    "TraceSegment",
+    "synthesize_profile",
+    "merge_profiles",
+]
+
+
+def record_run(program, entry=None, args=(), max_instructions=50_000_000):
+    """Run ``program`` with a :class:`TraceRecorder` attached.
+
+    Returns:
+        ``(result, recorder)`` — the VM result plus the populated
+        recorder (``recorder.trace`` and ``recorder.profile``).
+    """
+    recorder = TraceRecorder()
+    machine = VirtualMachine(
+        program,
+        instruments=[recorder],
+        max_instructions=max_instructions,
+    )
+    result = machine.run(entry=entry, args=args)
+    return result, recorder

@@ -1,0 +1,93 @@
+"""Activation frames for the interpreter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..bytecode import Instruction, offsets_of
+from ..classfile import MethodInfo
+from ..errors import StackUnderflowError, VMError
+from ..program import MethodId
+
+__all__ = ["Frame"]
+
+#: Hard cap on local variable slots, mirroring the u1 LOAD/STORE operand.
+MAX_LOCAL_SLOTS = 256
+
+
+@dataclass
+class Frame:
+    """One method activation: locals, operand stack, program counter.
+
+    Attributes:
+        method_id: Which method is executing.
+        method: Its definition.
+        pc: Index (not byte offset) of the next instruction.
+    """
+
+    method_id: MethodId
+    method: MethodInfo
+    pc: int = 0
+    locals: List[Any] = field(default_factory=list)
+    stack: List[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.instructions: List[Instruction] = self.method.instructions
+        offsets = offsets_of(self.instructions)
+        self.offsets: List[int] = offsets
+        self.offset_to_index: Dict[int, int] = {
+            offset: index for index, offset in enumerate(offsets)
+        }
+        needed = max(self.method.max_locals, len(self.locals))
+        if needed > MAX_LOCAL_SLOTS:
+            raise VMError(
+                f"{self.method_id}: {needed} locals exceed the limit "
+                f"of {MAX_LOCAL_SLOTS}"
+            )
+        self.locals.extend([0] * (needed - len(self.locals)))
+
+    def push(self, value: Any) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> Any:
+        if not self.stack:
+            raise StackUnderflowError(
+                f"{self.method_id}: operand stack underflow at pc={self.pc}"
+            )
+        return self.stack.pop()
+
+    def load(self, slot: int) -> Any:
+        if slot >= len(self.locals):
+            raise VMError(
+                f"{self.method_id}: load from unallocated local {slot}"
+            )
+        return self.locals[slot]
+
+    def store(self, slot: int, value: Any) -> None:
+        if slot >= MAX_LOCAL_SLOTS:
+            raise VMError(
+                f"{self.method_id}: store to local {slot} beyond limit"
+            )
+        if slot >= len(self.locals):
+            self.locals.extend([0] * (slot + 1 - len(self.locals)))
+        self.locals[slot] = value
+
+    def jump_to_offset(self, byte_offset: int) -> None:
+        """Set the pc to the instruction at ``byte_offset``.
+
+        Raises:
+            VMError: If the offset is not an instruction boundary.
+        """
+        index = self.offset_to_index.get(byte_offset)
+        if index is None:
+            raise VMError(
+                f"{self.method_id}: branch to non-boundary offset "
+                f"{byte_offset}"
+            )
+        self.pc = index
+
+    @property
+    def current_offset(self) -> int:
+        """Byte offset of the instruction at the current pc."""
+        return self.offsets[self.pc]

@@ -1,0 +1,144 @@
+"""BIT-style bytecode instrumentation interface.
+
+The paper's toolchain is built on BIT (Lee & Zorn, USITS '97), which
+lets a tool observe bytecode instructions, basic blocks, and procedures
+as they execute.  :class:`Instrument` reproduces that interface for the
+repro VM: subclass it, override the hooks you need, and pass instances
+to :class:`repro.vm.interpreter.VirtualMachine`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from ..bytecode import Instruction
+from ..program import MethodId, Program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .frame import Frame
+
+__all__ = [
+    "Instrument",
+    "InstructionCounter",
+    "CallCounter",
+    "BasicBlockCounter",
+]
+
+
+class Instrument:
+    """Base class: every hook is a no-op.
+
+    Hooks:
+        * :meth:`on_start` — before the entry method is invoked.
+        * :meth:`on_method_entry` — a frame was pushed.
+        * :meth:`on_method_exit` — a frame returned.
+        * :meth:`on_instruction` — before each instruction executes.
+        * :meth:`on_external_call` — a CALL left the program (modelled
+          as an uninstrumented native method).
+        * :meth:`on_halt` — execution finished (normally or via HALT).
+    """
+
+    def on_start(self, program: Program) -> None:
+        """Called once before execution begins."""
+
+    def on_method_entry(
+        self, method_id: MethodId, frame: "Frame"
+    ) -> None:
+        """Called when a method activation is pushed."""
+
+    def on_method_exit(self, method_id: MethodId) -> None:
+        """Called when a method activation returns."""
+
+    def on_instruction(
+        self, method_id: MethodId, instruction: Instruction, offset: int
+    ) -> None:
+        """Called before each instruction, with its byte offset."""
+
+    def on_external_call(
+        self, method_id: MethodId, callee: MethodId
+    ) -> None:
+        """Called when a CALL resolves outside the program."""
+
+    def on_halt(self) -> None:
+        """Called once when execution stops."""
+
+
+class InstructionCounter(Instrument):
+    """Counts executed instructions, total and per method."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.per_method: Dict[MethodId, int] = {}
+
+    def on_instruction(
+        self, method_id: MethodId, instruction: Instruction, offset: int
+    ) -> None:
+        self.total += 1
+        self.per_method[method_id] = (
+            self.per_method.get(method_id, 0) + 1
+        )
+
+
+class CallCounter(Instrument):
+    """Counts method invocations, including the entry invocation."""
+
+    def __init__(self) -> None:
+        self.invocations: Dict[MethodId, int] = {}
+        self.external_calls: Dict[MethodId, int] = {}
+
+    def on_method_entry(
+        self, method_id: MethodId, frame: "Frame"
+    ) -> None:
+        self.invocations[method_id] = (
+            self.invocations.get(method_id, 0) + 1
+        )
+
+    def on_external_call(
+        self, method_id: MethodId, callee: MethodId
+    ) -> None:
+        self.external_calls[callee] = (
+            self.external_calls.get(callee, 0) + 1
+        )
+
+
+class BasicBlockCounter(Instrument):
+    """Counts basic-block entries, BIT's signature instrumentation.
+
+    Block boundaries are derived lazily per method (the leader offsets
+    of :func:`repro.cfg.basic_blocks.partition_blocks`); an instruction
+    executing at a leader offset counts as entering that block.
+    """
+
+    def __init__(self) -> None:
+        self.block_entries: Dict[MethodId, Dict[int, int]] = {}
+        self._leaders: Dict[MethodId, Dict[int, int]] = {}
+        self._program: Program = None
+
+    def on_start(self, program: Program) -> None:
+        self._program = program
+
+    def _leaders_of(self, method_id: MethodId) -> Dict[int, int]:
+        leaders = self._leaders.get(method_id)
+        if leaders is None:
+            from ..cfg import partition_blocks
+
+            method = self._program.method(method_id)
+            _, offset_to_block = partition_blocks(method.instructions)
+            leaders = offset_to_block
+            self._leaders[method_id] = leaders
+        return leaders
+
+    def on_instruction(
+        self, method_id: MethodId, instruction: Instruction, offset: int
+    ) -> None:
+        block_id = self._leaders_of(method_id).get(offset)
+        if block_id is not None:
+            per_method = self.block_entries.setdefault(method_id, {})
+            per_method[block_id] = per_method.get(block_id, 0) + 1
+
+    def total_block_entries(self) -> int:
+        return sum(
+            count
+            for blocks in self.block_entries.values()
+            for count in blocks.values()
+        )

@@ -1,0 +1,15 @@
+"""Workloads: example programs, benchmark specs, synthetic generator."""
+
+from .examples import (
+    countdown_program,
+    fibonacci_program,
+    figure1_program,
+    mutual_recursion_program,
+)
+
+__all__ = [
+    "countdown_program",
+    "fibonacci_program",
+    "figure1_program",
+    "mutual_recursion_program",
+]

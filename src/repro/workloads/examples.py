@@ -1,0 +1,217 @@
+"""Small hand-built programs used in tests, docs, and examples.
+
+:func:`figure1_program` reconstructs the running example of the paper
+(Figures 1–5): Class A with ``main``, ``Foo_A``, ``Bar_A`` and global
+data; Class B with ``Foo_B``, ``Bar_B`` and global data.  The call
+structure makes the first-use order ``main, Bar_B, Bar_A, Foo_A,
+Foo_B`` — different from the textual order — so restructuring visibly
+changes the layout, as in Figure 3.
+"""
+
+from __future__ import annotations
+
+
+from ..bytecode import CodeBuilder, Opcode
+from ..classfile import ClassFileBuilder
+from ..program import MethodId, Program
+
+__all__ = [
+    "figure1_program",
+    "countdown_program",
+    "fibonacci_program",
+    "mutual_recursion_program",
+]
+
+
+def _count_loop(builder: CodeBuilder, counter_slot: int, body) -> None:
+    """Emit ``while (local[slot] > 0) { body(); local[slot] -= 1 }``."""
+    loop = builder.new_label("loop")
+    done = builder.new_label("done")
+    builder.bind(loop)
+    builder.emit(Opcode.LOAD, counter_slot)
+    builder.branch(Opcode.IFLE, done)
+    body()
+    builder.emit(Opcode.LOAD, counter_slot)
+    builder.emit(Opcode.ICONST, 1)
+    builder.emit(Opcode.SUB)
+    builder.emit(Opcode.STORE, counter_slot)
+    builder.branch(Opcode.GOTO, loop)
+    builder.bind(done)
+
+
+def figure1_program() -> Program:
+    """The paper's two-class example application.
+
+    Class A: global data (fields), ``main``, ``Foo_A``, ``Bar_A`` (in
+    textual order, like Figure 1).  Class B: global data, ``Foo_B``,
+    ``Bar_B``.  Dynamically: ``main`` loops then calls ``Bar_B``;
+    ``Bar_B`` loops then calls ``Bar_A``; ``Bar_A`` calls ``Foo_A``;
+    ``Foo_A`` calls ``Foo_B``.
+    """
+    a = ClassFileBuilder("A")
+    b = ClassFileBuilder("B")
+    a.add_field("a_total", initial_value=0)
+    a.add_field("a_seed", initial_value=7)
+    b.add_field("b_total", initial_value=0)
+
+    # --- Class A methods, in Figure 1 textual order -------------------
+    main = CodeBuilder()
+    main.emit(Opcode.ICONST, 25)
+    main.emit(Opcode.STORE, 0)
+    _count_loop(
+        main,
+        0,
+        lambda: (
+            main.emit(Opcode.GETSTATIC, a.field_ref("A", "a_total")),
+            main.emit(Opcode.ICONST, 1),
+            main.emit(Opcode.ADD),
+            main.emit(Opcode.PUTSTATIC, a.field_ref("A", "a_total")),
+        ),
+    )
+    main.emit(Opcode.ICONST, 9)
+    main.emit(Opcode.CALL, a.method_ref("B", "Bar_B", "(I)I"))
+    main.emit(Opcode.POP)
+    main.emit(Opcode.RETURN)
+
+    foo_a = CodeBuilder()
+    foo_a.emit(Opcode.LOAD, 0)
+    foo_a.emit(Opcode.CALL, a.method_ref("B", "Foo_B", "(I)I"))
+    foo_a.emit(Opcode.ICONST, 3)
+    foo_a.emit(Opcode.ADD)
+    foo_a.emit(Opcode.IRETURN)
+
+    bar_a = CodeBuilder()
+    bar_a.emit(Opcode.LOAD, 0)
+    bar_a.emit(Opcode.ICONST, 2)
+    bar_a.emit(Opcode.MUL)
+    bar_a.emit(Opcode.CALL, a.method_ref("A", "Foo_A", "(I)I"))
+    bar_a.emit(Opcode.IRETURN)
+
+    a.add_method("main", "()V", main.build(), local_data=b"A-main-data!")
+    a.add_method("Foo_A", "(I)I", foo_a.build(), local_data=b"FooA")
+    a.add_method("Bar_A", "(I)I", bar_a.build(), local_data=b"BarA-dat")
+
+    # --- Class B methods ------------------------------------------------
+    foo_b = CodeBuilder()
+    foo_b.emit(Opcode.LOAD, 0)
+    foo_b.emit(Opcode.GETSTATIC, b.field_ref("B", "b_total"))
+    foo_b.emit(Opcode.ADD)
+    foo_b.emit(Opcode.IRETURN)
+
+    bar_b = CodeBuilder()
+    bar_b.emit(Opcode.LOAD, 0)
+    bar_b.emit(Opcode.STORE, 1)
+    _count_loop(
+        bar_b,
+        1,
+        lambda: (
+            bar_b.emit(Opcode.GETSTATIC, b.field_ref("B", "b_total")),
+            bar_b.emit(Opcode.ICONST, 2),
+            bar_b.emit(Opcode.ADD),
+            bar_b.emit(Opcode.PUTSTATIC, b.field_ref("B", "b_total")),
+        ),
+    )
+    bar_b.emit(Opcode.LOAD, 0)
+    bar_b.emit(Opcode.CALL, b.method_ref("A", "Bar_A", "(I)I"))
+    bar_b.emit(Opcode.IRETURN)
+
+    b.add_method("Foo_B", "(I)I", foo_b.build(), local_data=b"FooB-local")
+    b.add_method("Bar_B", "(I)I", bar_b.build(), local_data=b"BarB")
+
+    return Program(
+        classes=[a.build(), b.build()],
+        entry_point=MethodId("A", "main"),
+    )
+
+
+def countdown_program(start: int = 10) -> Program:
+    """One class, one method: count ``start`` down to zero."""
+    builder = ClassFileBuilder("Countdown")
+    code = CodeBuilder()
+    code.emit(Opcode.ICONST, start)
+    code.emit(Opcode.STORE, 0)
+    _count_loop(code, 0, lambda: None)
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    return Program(classes=[builder.build()])
+
+
+def fibonacci_program(n: int = 12) -> Program:
+    """Recursive Fibonacci: exercises call/return and branching."""
+    builder = ClassFileBuilder("Fib")
+    fib_ref = builder.method_ref("Fib", "fib", "(I)I")
+
+    main = CodeBuilder()
+    main.emit(Opcode.ICONST, n)
+    main.emit(Opcode.CALL, fib_ref)
+    main.emit(Opcode.PUTSTATIC, builder.field_ref("Fib", "result"))
+    main.emit(Opcode.RETURN)
+
+    fib = CodeBuilder()
+    recurse = fib.new_label("recurse")
+    fib.emit(Opcode.LOAD, 0)
+    fib.emit(Opcode.ICONST, 2)
+    fib.branch(Opcode.IF_ICMPGE, recurse)
+    fib.emit(Opcode.LOAD, 0)
+    fib.emit(Opcode.IRETURN)
+    fib.bind(recurse)
+    fib.emit(Opcode.LOAD, 0)
+    fib.emit(Opcode.ICONST, 1)
+    fib.emit(Opcode.SUB)
+    fib.emit(Opcode.CALL, fib_ref)
+    fib.emit(Opcode.LOAD, 0)
+    fib.emit(Opcode.ICONST, 2)
+    fib.emit(Opcode.SUB)
+    fib.emit(Opcode.CALL, fib_ref)
+    fib.emit(Opcode.ADD)
+    fib.emit(Opcode.IRETURN)
+
+    builder.add_field("result")
+    builder.add_method("main", "()V", main.build())
+    builder.add_method("fib", "(I)I", fib.build())
+    return Program(classes=[builder.build()])
+
+
+def mutual_recursion_program(depth: int = 16) -> Program:
+    """Two classes whose methods call each other alternately."""
+    even = ClassFileBuilder("Even")
+    odd = ClassFileBuilder("Odd")
+
+    def parity_method(
+        builder: ClassFileBuilder,
+        name: str,
+        other_class: str,
+        other_name: str,
+        result_when_zero: int,
+    ) -> None:
+        code = CodeBuilder()
+        recurse = code.new_label("recurse")
+        code.emit(Opcode.LOAD, 0)
+        code.branch(Opcode.IFNE, recurse)
+        code.emit(Opcode.ICONST, result_when_zero)
+        code.emit(Opcode.IRETURN)
+        code.bind(recurse)
+        code.emit(Opcode.LOAD, 0)
+        code.emit(Opcode.ICONST, 1)
+        code.emit(Opcode.SUB)
+        code.emit(
+            Opcode.CALL,
+            builder.method_ref(other_class, other_name, "(I)I"),
+        )
+        code.emit(Opcode.IRETURN)
+        builder.add_method(name, "(I)I", code.build())
+
+    main = CodeBuilder()
+    main.emit(Opcode.ICONST, depth)
+    main.emit(Opcode.CALL, even.method_ref("Even", "is_even", "(I)I"))
+    main.emit(Opcode.PUTSTATIC, even.field_ref("Even", "answer"))
+    main.emit(Opcode.RETURN)
+    even.add_field("answer")
+    even.add_method("main", "()V", main.build())
+    parity_method(even, "is_even", "Odd", "is_odd", 1)
+    parity_method(odd, "is_odd", "Even", "is_even", 0)
+
+    return Program(
+        classes=[even.build(), odd.build()],
+        entry_point=MethodId("Even", "main"),
+    )

@@ -1,0 +1,281 @@
+"""Benchmark specifications: the published statistics of the six
+programs (paper Tables 1, 2, 3, and 9).
+
+The original 1998 binaries (BIT, Hanoi, JavaCup, Jess, JHLZip, TestDes,
+compiled with DEC's JDK 1.12beta) are unobtainable, so the synthetic
+generator (:mod:`repro.workloads.synthetic`) reproduces each program's
+*published statistics* — file count, size, method count, dynamic and
+static instruction counts, CPI, and the global-data breakdown — and the
+experiments run against those calibrated equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+
+__all__ = ["BenchmarkSpec", "PAPER_BENCHMARKS", "benchmark_spec"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Published statistics for one benchmark.
+
+    Attributes:
+        name: Benchmark name as in Table 1.
+        description: Table 1's one-line description.
+        kind: ``"application"`` or ``"applet"``.
+        total_files: Class file count (Table 2).
+        size_kb: Application size in KB (Table 2).
+        dynamic_instructions_test: Dynamic bytecodes, test input.
+        dynamic_instructions_train: Dynamic bytecodes, train input.
+        static_instructions: Static bytecode count.
+        percent_static_executed: % of static instructions executed
+            (test input, Table 2).
+        total_methods: Method count (Table 2).
+        cpi: Average Alpha cycles per bytecode (Table 3).
+        local_data_kb: Method-local data in KB (Table 9).
+        global_data_kb: Global data in KB (Table 9).
+        percent_globals_needed_first: Table 9 column.
+        percent_globals_in_methods: Table 9 column.
+        percent_globals_unused: Table 9 column.
+        int_constant_bias: Fraction of generated in-method constants
+            that are integers rather than strings (Table 8 flavour:
+            TestDes's pool is 53% integers, most others are ~1–2%).
+        percent_bytes_needed: Percent of the program's wire bytes the
+            test input actually needs (used method units plus the
+            global data of touched classes).  The paper never tabulates
+            this, but its Tables 6/7 normalized times imply it
+            directly — and imply that unused *bytes* far exceed unused
+            *instructions* (cold methods carry their tables, messages,
+            and resources).  The generator distributes method-local
+            payload and constants to cold methods to hit this figure.
+        main_fraction: When positive, the entry method is inflated to
+            this fraction of its class's instructions.  Reproduces the
+            paper's TestDes anomaly: its first class is essentially one
+            huge procedure, so non-strict execution barely reduces its
+            invocation latency (Table 4's "(1)" row).
+        first_use_span: Fraction of the test execution over which first
+            uses are spread.  The paper's per-program results imply a
+            startup burst (span well under 10%): essentially all of a
+            program's first uses happen during initialization, with the
+            compute loop running afterwards.
+        transfer_mcycles_t1: Millions of cycles to transfer the whole
+            program over the T1 link (Table 3).  Note the paper's own
+            numbers imply roughly twice the wire bytes of Table 2/9's
+            sizes (protocol and runtime overheads it never itemizes);
+            since the transfer cycles drive every results table, the
+            generator calibrates total wire bytes to *this* figure and
+            scales Table 9's byte columns proportionally, preserving
+            all percentage splits.
+    """
+
+    name: str
+    description: str
+    kind: str
+    total_files: int
+    size_kb: float
+    dynamic_instructions_test: int
+    dynamic_instructions_train: int
+    static_instructions: int
+    percent_static_executed: float
+    total_methods: int
+    cpi: float
+    local_data_kb: float
+    global_data_kb: float
+    percent_globals_needed_first: float
+    percent_globals_in_methods: float
+    percent_globals_unused: float
+    int_constant_bias: float = 0.02
+    transfer_mcycles_t1: float = 0.0
+    percent_bytes_needed: float = 60.0
+    first_use_span: float = 0.05
+    main_fraction: float = 0.0
+
+    @property
+    def instructions_per_method(self) -> float:
+        return self.static_instructions / self.total_methods
+
+    @property
+    def wire_scale(self) -> float:
+        """Factor scaling Table 9 byte targets to Table 3 wire bytes."""
+        if self.transfer_mcycles_t1 <= 0:
+            return 1.0
+        implied_kb = self.transfer_mcycles_t1 * 1e6 / 3815.0 / 1024.0
+        return implied_kb / (self.local_data_kb + self.global_data_kb)
+
+    @property
+    def methods_per_class(self) -> float:
+        return self.total_methods / self.total_files
+
+    def __post_init__(self) -> None:
+        if self.total_files < 1 or self.total_methods < 1:
+            raise WorkloadError(f"{self.name}: empty benchmark spec")
+        percentages = (
+            self.percent_globals_needed_first
+            + self.percent_globals_in_methods
+            + self.percent_globals_unused
+        )
+        if not 95.0 <= percentages <= 105.0:
+            raise WorkloadError(
+                f"{self.name}: Table 9 percentages sum to {percentages}"
+            )
+
+
+#: The six benchmarks, columns transcribed from Tables 1, 2, 3, and 9.
+PAPER_BENCHMARKS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="BIT",
+        description=(
+            "Bytecode Instrumentation Tool: instruments each basic "
+            "block of its input program"
+        ),
+        kind="application",
+        total_files=48,
+        size_kb=124,
+        dynamic_instructions_test=7_763_000,
+        dynamic_instructions_train=5_582_000,
+        static_instructions=10_800,
+        percent_static_executed=66,
+        total_methods=643,
+        cpi=147,
+        local_data_kb=43.9,
+        global_data_kb=56.9,
+        percent_globals_needed_first=34,
+        percent_globals_in_methods=63,
+        percent_globals_unused=3,
+        transfer_mcycles_t1=776,
+        percent_bytes_needed=58,
+        first_use_span=0.04,
+    ),
+    BenchmarkSpec(
+        name="Hanoi",
+        description=(
+            "Towers of Hanoi puzzle solver applet (6 and 8 rings)"
+        ),
+        kind="applet",
+        total_files=3,
+        size_kb=6,
+        dynamic_instructions_test=329_000,
+        dynamic_instructions_train=68_000,
+        static_instructions=400,
+        percent_static_executed=85,
+        total_methods=58,
+        cpi=3830,
+        local_data_kb=1.8,
+        global_data_kb=3.1,
+        percent_globals_needed_first=21,
+        percent_globals_in_methods=75,
+        percent_globals_unused=4,
+        transfer_mcycles_t1=27,
+        percent_bytes_needed=85,
+        first_use_span=0.08,
+    ),
+    BenchmarkSpec(
+        name="JavaCup",
+        description="LALR parser generator (simple math grammar)",
+        kind="application",
+        total_files=35,
+        size_kb=139,
+        dynamic_instructions_test=318_000,
+        dynamic_instructions_train=126_000,
+        static_instructions=14_800,
+        percent_static_executed=81,
+        total_methods=843,
+        cpi=1241,
+        local_data_kb=53.9,
+        global_data_kb=59.4,
+        percent_globals_needed_first=17,
+        percent_globals_in_methods=82,
+        percent_globals_unused=1,
+        transfer_mcycles_t1=988,
+        percent_bytes_needed=50,
+        first_use_span=0.04,
+    ),
+    BenchmarkSpec(
+        name="Jess",
+        description="Expert system shell solving rule-based puzzles",
+        kind="application",
+        total_files=97,
+        size_kb=266,
+        dynamic_instructions_test=3_116_000,
+        dynamic_instructions_train=270_000,
+        static_instructions=15_100,
+        percent_static_executed=47,
+        total_methods=1568,
+        cpi=225,
+        local_data_kb=93.8,
+        global_data_kb=129.9,
+        percent_globals_needed_first=19,
+        percent_globals_in_methods=61,
+        percent_globals_unused=20,
+        transfer_mcycles_t1=1885,
+        percent_bytes_needed=52,
+        first_use_span=0.03,
+    ),
+    BenchmarkSpec(
+        name="JHLZip",
+        description="PKZip-format archive generator",
+        kind="application",
+        total_files=7,
+        size_kb=35,
+        dynamic_instructions_test=2_380_000,
+        dynamic_instructions_train=1_023_000,
+        static_instructions=4_000,
+        percent_static_executed=76,
+        total_methods=186,
+        cpi=82,
+        local_data_kb=15.1,
+        global_data_kb=12.0,
+        percent_globals_needed_first=19,
+        percent_globals_in_methods=79,
+        percent_globals_unused=2,
+        int_constant_bias=0.18,
+        transfer_mcycles_t1=258,
+        percent_bytes_needed=52,
+        first_use_span=0.03,
+    ),
+    BenchmarkSpec(
+        name="TestDes",
+        description="DES encryption/decryption of a string",
+        kind="application",
+        total_files=3,
+        size_kb=50,
+        dynamic_instructions_test=310_000,
+        dynamic_instructions_train=303_000,
+        static_instructions=8_900,
+        percent_static_executed=98,
+        total_methods=51,
+        cpi=484,
+        local_data_kb=29.7,
+        global_data_kb=5.0,
+        percent_globals_needed_first=15,
+        percent_globals_in_methods=84,
+        percent_globals_unused=1,
+        int_constant_bias=0.55,
+        transfer_mcycles_t1=306,
+        percent_bytes_needed=62,
+        first_use_span=0.06,
+        main_fraction=0.95,
+    ),
+)
+
+_BY_NAME: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in PAPER_BENCHMARKS
+}
+
+
+def benchmark_spec(name: str) -> BenchmarkSpec:
+    """Look up a paper benchmark by name.
+
+    Raises:
+        WorkloadError: For unknown names.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known: {sorted(_BY_NAME)}"
+        ) from exc

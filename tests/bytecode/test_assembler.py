@@ -1,0 +1,166 @@
+"""Textual assembler and CodeBuilder behaviour."""
+
+import pytest
+
+from repro.bytecode import (
+    CodeBuilder,
+    Instruction,
+    Opcode,
+    assemble,
+    disassemble,
+    encode,
+)
+from repro.errors import AssemblyError
+
+
+def test_assemble_simple_method():
+    instructions = assemble(
+        """
+        iconst 5
+        store 0
+        return
+        """
+    )
+    assert instructions == [
+        Instruction(Opcode.ICONST, (5,)),
+        Instruction(Opcode.STORE, (0,)),
+        Instruction(Opcode.RETURN),
+    ]
+
+
+def test_assemble_backward_branch_label():
+    instructions = assemble(
+        """
+        loop:
+            load 0
+            ifeq done
+            load 0
+            iconst 1
+            sub
+            store 0
+            goto loop
+        done:
+            return
+        """
+    )
+    goto = instructions[-2]
+    assert goto.opcode == Opcode.GOTO
+    # goto starts at 2+3+2+5+1+2 = 15; loop label is offset 0.
+    assert goto.operand == -15
+    ifeq = instructions[1]
+    # ifeq starts at offset 2; done label at 15 + 3 = 18.
+    assert ifeq.operand == 16
+
+
+def test_assemble_forward_branch_label():
+    instructions = assemble(
+        """
+        ifne skip
+        nop
+        skip: return
+        """
+    )
+    assert instructions[0].operand == 4  # ifne(3) + nop(1)
+
+
+def test_comments_and_blank_lines_ignored():
+    instructions = assemble("; header\n\n  nop ; trailing\n")
+    assert instructions == [Instruction(Opcode.NOP)]
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("frobnicate 1")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("a:\nnop\na:\nnop")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("goto nowhere")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblyError):
+        assemble("iconst")
+    with pytest.raises(AssemblyError):
+        assemble("add 3")
+
+
+def test_builder_matches_text_assembler():
+    builder = CodeBuilder()
+    loop = builder.new_label("loop")
+    done = builder.new_label("done")
+    builder.bind(loop)
+    builder.emit(Opcode.LOAD, 0)
+    builder.branch(Opcode.IFEQ, done)
+    builder.emit(Opcode.LOAD, 0)
+    builder.emit(Opcode.ICONST, 1)
+    builder.emit(Opcode.SUB)
+    builder.emit(Opcode.STORE, 0)
+    builder.branch(Opcode.GOTO, loop)
+    builder.bind(done)
+    builder.emit(Opcode.RETURN)
+    text_version = assemble(
+        """
+        loop:
+            load 0
+            ifeq done
+            load 0
+            iconst 1
+            sub
+            store 0
+            goto loop
+        done:
+            return
+        """
+    )
+    assert builder.build() == text_version
+
+
+def test_builder_rejects_unbound_label():
+    builder = CodeBuilder()
+    dangling = builder.new_label("dangling")
+    builder.branch(Opcode.GOTO, dangling)
+    with pytest.raises(AssemblyError):
+        builder.build()
+
+
+def test_builder_rejects_double_bind():
+    builder = CodeBuilder()
+    label = builder.new_label()
+    builder.bind(label)
+    with pytest.raises(AssemblyError):
+        builder.bind(label)
+
+
+def test_builder_rejects_non_branch_label_use():
+    builder = CodeBuilder()
+    label = builder.new_label()
+    with pytest.raises(AssemblyError):
+        builder.branch(Opcode.ADD, label)
+
+
+def test_disassemble_assemble_roundtrip():
+    source = """
+    start:
+        iconst 10
+        store 0
+    loop:
+        load 0
+        ifle end
+        load 0
+        iconst 1
+        sub
+        store 0
+        goto loop
+    end:
+        return
+    """
+    original = assemble(source)
+    recovered = assemble(disassemble(original))
+    assert recovered == original
+    assert encode(recovered) == encode(original)

@@ -1,0 +1,76 @@
+"""Binary encode/decode round-trips, including property-based coverage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bytecode import (
+    OPCODE_TABLE,
+    Instruction,
+    Opcode,
+    OperandKind,
+    code_size,
+    decode,
+    decode_one,
+    encode,
+)
+from repro.errors import BytecodeError
+
+_OPERAND_STRATEGIES = {
+    OperandKind.U1: st.integers(0, 0xFF),
+    OperandKind.U2: st.integers(0, 0xFFFF),
+    OperandKind.S2: st.integers(-0x8000, 0x7FFF),
+    OperandKind.I4: st.integers(-(2**31), 2**31 - 1),
+}
+
+
+@st.composite
+def instructions(draw):
+    opcode = draw(st.sampled_from(sorted(Opcode)))
+    info = OPCODE_TABLE[opcode]
+    operands = tuple(
+        draw(_OPERAND_STRATEGIES[kind]) for kind in info.operands
+    )
+    return Instruction(opcode, operands)
+
+
+@given(st.lists(instructions(), max_size=50))
+def test_roundtrip(instruction_list):
+    blob = encode(instruction_list)
+    assert len(blob) == code_size(instruction_list)
+    assert decode(blob) == instruction_list
+
+
+@given(instructions())
+def test_decode_one_matches_size(instruction):
+    blob = encode([instruction])
+    decoded = decode_one(blob, 0)
+    assert decoded == instruction
+    assert decoded.size == len(blob)
+
+
+def test_decode_rejects_unknown_opcode():
+    with pytest.raises(BytecodeError):
+        decode(bytes([0xFF]))
+
+
+def test_decode_rejects_truncated_operand():
+    blob = encode([Instruction(Opcode.ICONST, (7,))])
+    with pytest.raises(BytecodeError):
+        decode(blob[:-1])
+
+
+def test_decode_one_rejects_offset_past_end():
+    with pytest.raises(BytecodeError):
+        decode_one(b"", 0)
+
+
+def test_known_encoding_bytes():
+    # iconst 1 -> opcode 0x01 then big-endian int32.
+    assert encode([Instruction(Opcode.ICONST, (1,))]) == bytes(
+        [0x01, 0, 0, 0, 1]
+    )
+    # goto -2 -> opcode 0x3c then big-endian int16 two's complement.
+    assert encode([Instruction(Opcode.GOTO, (-2,))]) == bytes(
+        [0x3C, 0xFF, 0xFE]
+    )

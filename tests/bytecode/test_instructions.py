@@ -1,0 +1,78 @@
+"""Instruction construction, validation, and size accounting."""
+
+import pytest
+
+from repro.bytecode import Instruction, Opcode, code_size, offsets_of
+from repro.errors import BytecodeError
+
+
+def test_simple_instruction():
+    instruction = Instruction(Opcode.ADD)
+    assert instruction.size == 1
+    assert instruction.mnemonic == "add"
+    assert str(instruction) == "add"
+
+
+def test_operand_instruction():
+    instruction = Instruction(Opcode.ICONST, (42,))
+    assert instruction.size == 5
+    assert instruction.operand == 42
+    assert str(instruction) == "iconst 42"
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.ADD, (1,))
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.ICONST)
+
+
+def test_operand_range_checked():
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.LOAD, (256,))
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.LDC, (-1,))
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.GOTO, (40000,))
+    # Boundary values are accepted.
+    Instruction(Opcode.LOAD, (255,))
+    Instruction(Opcode.GOTO, (-0x8000,))
+    Instruction(Opcode.ICONST, (2**31 - 1,))
+
+
+def test_operand_property_requires_single_operand():
+    with pytest.raises(BytecodeError):
+        _ = Instruction(Opcode.ADD).operand
+
+
+def test_branch_target_is_relative_to_instruction_start():
+    branch = Instruction(Opcode.GOTO, (-6,))
+    assert branch.branch_target(10) == 4
+    with pytest.raises(BytecodeError):
+        Instruction(Opcode.ADD).branch_target(0)
+
+
+def test_code_size_and_offsets():
+    instructions = [
+        Instruction(Opcode.ICONST, (1,)),  # 5 bytes
+        Instruction(Opcode.STORE, (0,)),  # 2 bytes
+        Instruction(Opcode.RETURN),  # 1 byte
+    ]
+    assert code_size(instructions) == 8
+    assert offsets_of(instructions) == [0, 5, 7]
+
+
+def test_instructions_are_hashable_and_equal_by_value():
+    a = Instruction(Opcode.LOAD, (3,))
+    b = Instruction(Opcode.LOAD, (3,))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Instruction(Opcode.LOAD, (4,))
+
+
+def test_instruction_size_helper():
+    from repro.bytecode import instruction_size
+
+    assert instruction_size(Opcode.NOP) == 1
+    assert instruction_size(Opcode.ICONST) == 5
+    assert instruction_size(Opcode.CALL) == 3

@@ -1,0 +1,61 @@
+"""Consistency checks on the opcode table."""
+
+from repro.bytecode import (
+    COMPARE_BRANCHES,
+    CONDITIONAL_BRANCHES,
+    MNEMONICS,
+    OPCODE_TABLE,
+    Opcode,
+    OperandKind,
+    operand_size,
+)
+
+
+def test_every_opcode_has_metadata():
+    for opcode in Opcode:
+        assert opcode in OPCODE_TABLE
+
+
+def test_mnemonics_are_unique_and_lowercase():
+    assert len(MNEMONICS) == len(OPCODE_TABLE)
+    for mnemonic in MNEMONICS:
+        assert mnemonic == mnemonic.lower()
+
+
+def test_opcode_byte_values_are_unique():
+    values = [int(opcode) for opcode in Opcode]
+    assert len(values) == len(set(values))
+
+
+def test_size_is_one_plus_operand_widths():
+    for info in OPCODE_TABLE.values():
+        expected = 1 + sum(operand_size(kind) for kind in info.operands)
+        assert info.size == expected
+
+
+def test_branches_take_one_s2_operand():
+    for opcode, info in OPCODE_TABLE.items():
+        if info.is_branch:
+            assert info.operands == (OperandKind.S2,)
+
+
+def test_conditional_branch_sets():
+    assert COMPARE_BRANCHES <= CONDITIONAL_BRANCHES
+    assert Opcode.GOTO not in CONDITIONAL_BRANCHES
+    assert Opcode.IF_ICMPEQ in COMPARE_BRANCHES
+    assert Opcode.IFEQ in CONDITIONAL_BRANCHES
+    assert Opcode.IFEQ not in COMPARE_BRANCHES
+
+
+def test_returns_and_calls_flagged():
+    assert OPCODE_TABLE[Opcode.RETURN].is_return
+    assert OPCODE_TABLE[Opcode.IRETURN].is_return
+    assert OPCODE_TABLE[Opcode.CALL].is_call
+    assert not OPCODE_TABLE[Opcode.GOTO].is_call
+
+
+def test_operand_sizes():
+    assert operand_size(OperandKind.U1) == 1
+    assert operand_size(OperandKind.U2) == 2
+    assert operand_size(OperandKind.S2) == 2
+    assert operand_size(OperandKind.I4) == 4

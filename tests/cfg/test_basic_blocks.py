@@ -1,0 +1,89 @@
+"""Basic block partitioning."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.cfg import partition_blocks
+from repro.errors import CFGError
+
+
+def test_straight_line_is_one_block():
+    blocks, offset_map = partition_blocks(
+        assemble("iconst 1\nstore 0\nreturn")
+    )
+    assert len(blocks) == 1
+    assert blocks[0].start_offset == 0
+    assert len(blocks[0]) == 3
+    assert blocks[0].terminates
+    assert offset_map == {0: 0}
+
+
+def test_branch_splits_blocks():
+    code = assemble(
+        """
+        load 0
+        ifeq done
+        iconst 1
+        store 0
+        done:
+        return
+        """
+    )
+    blocks, offset_map = partition_blocks(code)
+    assert len(blocks) == 3
+    # Block 0: load+ifeq; block 1: iconst+store; block 2: return.
+    assert [len(block) for block in blocks] == [2, 2, 1]
+    assert blocks[2].terminates
+    assert offset_map[blocks[1].start_offset] == 1
+
+
+def test_backward_branch_target_is_leader():
+    code = assemble(
+        """
+        iconst 3
+        store 0
+        loop:
+        load 0
+        iconst 1
+        sub
+        store 0
+        load 0
+        ifgt loop
+        return
+        """
+    )
+    blocks, _ = partition_blocks(code)
+    assert len(blocks) == 3
+    assert blocks[1].start_offset == 7  # iconst(5)+store(2)
+
+
+def test_call_does_not_split_block_but_is_recorded():
+    code = assemble("iconst 1\ncall 5\npop\nreturn")
+    blocks, _ = partition_blocks(code)
+    assert len(blocks) == 1
+    assert len(blocks[0].call_sites) == 1
+    site = blocks[0].call_sites[0]
+    assert site.pool_index == 5
+    assert site.instruction_index == 1
+
+
+def test_block_size_bytes():
+    blocks, _ = partition_blocks(assemble("iconst 1\nreturn"))
+    assert blocks[0].size_bytes == 6
+    assert blocks[0].end_offset == 6
+
+
+def test_instruction_after_return_starts_block():
+    blocks, _ = partition_blocks(assemble("return\nnop\nreturn"))
+    assert len(blocks) == 2
+
+
+def test_empty_code_rejected():
+    with pytest.raises(CFGError):
+        partition_blocks([])
+
+
+def test_branch_to_middle_of_instruction_rejected():
+    # iconst is 5 bytes; offset 2 is inside it.
+    with pytest.raises(CFGError):
+        partition_blocks(assemble("goto 2\niconst 1\nreturn"))

@@ -1,0 +1,110 @@
+"""Program-level call graph construction."""
+
+import pytest
+
+from repro.bytecode import CodeBuilder, Instruction, Opcode
+from repro.cfg import build_call_graph
+from repro.classfile import ClassFileBuilder
+from repro.errors import CFGError
+from repro.program import MethodId, Program
+from repro.workloads import figure1_program, mutual_recursion_program
+
+
+def test_figure1_call_edges():
+    graph = build_call_graph(figure1_program())
+    assert graph.callees(MethodId("A", "main")) == [MethodId("B", "Bar_B")]
+    assert graph.callees(MethodId("B", "Bar_B")) == [MethodId("A", "Bar_A")]
+    assert graph.callees(MethodId("A", "Bar_A")) == [MethodId("A", "Foo_A")]
+    assert graph.callees(MethodId("A", "Foo_A")) == [MethodId("B", "Foo_B")]
+    assert graph.callees(MethodId("B", "Foo_B")) == []
+
+
+def test_reachable_from_entry_is_first_use_like():
+    program = figure1_program()
+    graph = build_call_graph(program)
+    order = graph.reachable_from(MethodId("A", "main"))
+    assert order == [
+        MethodId("A", "main"),
+        MethodId("B", "Bar_B"),
+        MethodId("A", "Bar_A"),
+        MethodId("A", "Foo_A"),
+        MethodId("B", "Foo_B"),
+    ]
+
+
+def test_every_method_has_a_cfg():
+    program = figure1_program()
+    graph = build_call_graph(program)
+    assert set(graph.methods) == set(program.method_ids())
+
+
+def test_calls_to():
+    graph = build_call_graph(figure1_program())
+    callers = [
+        edge.caller for edge in graph.calls_to(MethodId("A", "Bar_A"))
+    ]
+    assert callers == [MethodId("B", "Bar_B")]
+
+
+def test_mutual_recursion_cycle():
+    graph = build_call_graph(mutual_recursion_program())
+    assert graph.callees(MethodId("Even", "is_even")) == [
+        MethodId("Odd", "is_odd")
+    ]
+    assert graph.callees(MethodId("Odd", "is_odd")) == [
+        MethodId("Even", "is_even")
+    ]
+    order = graph.reachable_from(MethodId("Even", "main"))
+    assert len(order) == 3
+
+
+def test_external_call_marked():
+    builder = ClassFileBuilder("Solo")
+    code = CodeBuilder()
+    code.emit(
+        Opcode.CALL, builder.method_ref("java/System", "exit", "(I)V")
+    )
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    program = Program(classes=[builder.build()])
+    graph = build_call_graph(program)
+    main = MethodId("Solo", "main")
+    assert graph.callees(main) == []
+    assert graph.external_callees(main) == [
+        MethodId("java/System", "exit")
+    ]
+    assert not graph.calls_from(main)[0].internal
+
+
+def test_callees_deduplicated_in_order():
+    builder = ClassFileBuilder("C")
+    helper_ref = builder.method_ref("C", "helper", "()V")
+    other_ref = builder.method_ref("C", "other", "()V")
+    code = CodeBuilder()
+    code.emit(Opcode.CALL, helper_ref)
+    code.emit(Opcode.CALL, other_ref)
+    code.emit(Opcode.CALL, helper_ref)
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    builder.add_method("helper", "()V", [Instruction(Opcode.RETURN)])
+    builder.add_method("other", "()V", [Instruction(Opcode.RETURN)])
+    program = Program(classes=[builder.build()])
+    graph = build_call_graph(program)
+    assert graph.callees(MethodId("C", "main")) == [
+        MethodId("C", "helper"),
+        MethodId("C", "other"),
+    ]
+    assert len(graph.calls_from(MethodId("C", "main"))) == 3
+
+
+def test_reachable_from_unknown_method_raises():
+    graph = build_call_graph(figure1_program())
+    with pytest.raises(CFGError):
+        graph.reachable_from(MethodId("A", "missing"))
+
+
+def test_to_networkx_export():
+    graph = build_call_graph(figure1_program())
+    nx_graph = graph.to_networkx()
+    assert nx_graph.number_of_nodes() == 5
+    assert nx_graph.number_of_edges() == len(graph.edges)

@@ -1,0 +1,160 @@
+"""Dominators, back edges, natural loops, and heuristic inputs."""
+
+from repro.bytecode import assemble
+from repro.cfg import (
+    analyze_loops,
+    build_cfg,
+    dominates,
+    immediate_dominators,
+)
+
+SIMPLE_LOOP = """
+    iconst 10
+    store 0
+loop:
+    load 0
+    ifle done
+    load 0
+    iconst 1
+    sub
+    store 0
+    goto loop
+done:
+    return
+"""
+
+NESTED_LOOPS = """
+    iconst 3
+    store 0
+outer:
+    load 0
+    ifle done
+    iconst 2
+    store 1
+inner:
+    load 1
+    ifle outer_step
+    load 1
+    iconst 1
+    sub
+    store 1
+    goto inner
+outer_step:
+    load 0
+    iconst 1
+    sub
+    store 0
+    goto outer
+done:
+    return
+"""
+
+BRANCHY = """
+    load 0
+    ifeq no_loop_path
+loop:
+    load 1
+    ifle out
+    load 1
+    iconst 1
+    sub
+    store 1
+    goto loop
+out:
+    return
+no_loop_path:
+    iconst 5
+    store 1
+    return
+"""
+
+
+def test_dominators_of_diamond():
+    cfg = build_cfg(
+        assemble(
+            """
+            load 0
+            ifeq right
+            iconst 1
+            goto join
+            right: iconst 2
+            join: return
+            """
+        )
+    )
+    idom = immediate_dominators(cfg)
+    assert idom[0] is None
+    assert idom[1] == 0
+    assert idom[2] == 0
+    assert idom[3] == 0
+    assert dominates(idom, 0, 3)
+    assert not dominates(idom, 1, 3)
+    assert dominates(idom, 3, 3)
+
+
+def test_simple_loop_detected():
+    cfg = build_cfg(assemble(SIMPLE_LOOP))
+    analysis = analyze_loops(cfg)
+    assert len(analysis.loops) == 1
+    loop = analysis.loops[0]
+    assert loop.header == 1
+    assert 2 in loop.body
+    assert analysis.loop_depth[2] == 1
+    assert analysis.loop_depth[0] == 0
+
+
+def test_nested_loops_depth():
+    cfg = build_cfg(assemble(NESTED_LOOPS))
+    analysis = analyze_loops(cfg)
+    assert len(analysis.loops) == 2
+    max_depth = max(analysis.loop_depth.values())
+    assert max_depth == 2
+
+
+def test_back_edges_identified():
+    cfg = build_cfg(assemble(SIMPLE_LOOP))
+    analysis = analyze_loops(cfg)
+    assert len(analysis.back_edges) == 1
+    (tail, header) = next(iter(analysis.back_edges))
+    assert header == 1
+    assert analysis.is_back_edge(tail, header)
+    assert not analysis.is_back_edge(header, tail)
+
+
+def test_loop_exit_edge_classification():
+    cfg = build_cfg(assemble(SIMPLE_LOOP))
+    analysis = analyze_loops(cfg)
+    exit_edges = [
+        edge for edge in cfg.edges if analysis.is_loop_exit_edge(edge)
+    ]
+    assert len(exit_edges) == 1
+    assert exit_edges[0].target == 3  # the 'done' block
+
+
+def test_forward_loop_count_prefers_loop_path():
+    cfg = build_cfg(assemble(BRANCHY))
+    analysis = analyze_loops(cfg)
+    successors = cfg.successors(0)
+    loop_path = [s for s in successors if analysis.forward_loop_count.get(s, 0) > 0]
+    no_loop_path = [
+        s for s in successors if analysis.forward_loop_count.get(s, 0) == 0
+    ]
+    assert loop_path and no_loop_path
+    # Entry block sees the loop ahead.
+    assert analysis.forward_loop_count[0] >= 1
+
+
+def test_forward_instruction_count_monotone():
+    cfg = build_cfg(assemble(SIMPLE_LOOP))
+    analysis = analyze_loops(cfg)
+    # Entry's heaviest forward path includes at least its own size.
+    entry_count = analysis.forward_instruction_count[0]
+    assert entry_count >= len(cfg.block(0))
+
+
+def test_straight_line_has_no_loops():
+    cfg = build_cfg(assemble("iconst 1\npop\nreturn"))
+    analysis = analyze_loops(cfg)
+    assert analysis.loops == []
+    assert analysis.back_edges == set()
+    assert analysis.forward_loop_count[0] == 0

@@ -1,0 +1,88 @@
+"""CFG edges, orders, and validation."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.cfg import EdgeKind, build_cfg
+from repro.errors import CFGError
+
+DIAMOND = """
+    load 0
+    ifeq right
+    iconst 1
+    goto join
+right:
+    iconst 2
+join:
+    store 1
+    return
+"""
+
+
+def test_diamond_structure():
+    cfg = build_cfg(assemble(DIAMOND))
+    assert len(cfg) == 4
+    assert sorted(cfg.successors(0)) == [1, 2]
+    assert cfg.successors(1) == [3]
+    assert cfg.successors(2) == [3]
+    assert cfg.successors(3) == []
+    assert sorted(cfg.predecessors(3)) == [1, 2]
+
+
+def test_edge_kinds():
+    cfg = build_cfg(assemble(DIAMOND))
+    kinds = {
+        (edge.source, edge.target): edge.kind
+        for edge in cfg.successor_edges(0)
+    }
+    assert kinds[(0, 1)] == EdgeKind.FALLTHROUGH
+    assert kinds[(0, 2)] == EdgeKind.TAKEN
+
+
+def test_reverse_postorder_starts_at_entry_ends_at_exit():
+    cfg = build_cfg(assemble(DIAMOND))
+    order = cfg.reverse_postorder()
+    assert order[0] == 0
+    assert order[-1] == 3
+    assert set(order) == {0, 1, 2, 3}
+
+
+def test_loop_has_back_edge():
+    cfg = build_cfg(
+        assemble(
+            """
+            loop:
+                load 0
+                ifgt loop
+                return
+            """
+        )
+    )
+    assert 0 in cfg.successors(0)
+
+
+def test_unreachable_code_not_in_rpo():
+    cfg = build_cfg(assemble("return\nnop\nreturn"))
+    assert cfg.reverse_postorder() == [0]
+    assert len(cfg) == 2
+
+
+def test_instruction_count():
+    cfg = build_cfg(assemble(DIAMOND))
+    assert cfg.instruction_count == 7
+
+
+def test_fall_off_end_rejected():
+    with pytest.raises(CFGError):
+        build_cfg(assemble("iconst 1\nstore 0"))
+
+
+def test_conditional_fall_off_end_rejected():
+    with pytest.raises(CFGError):
+        build_cfg(assemble("start:\nload 0\nifeq start"))
+
+
+def test_block_lookup_bounds():
+    cfg = build_cfg(assemble("return"))
+    with pytest.raises(CFGError):
+        cfg.block(5)

@@ -1,0 +1,110 @@
+"""ClassFile structure, builder, and method reordering."""
+
+import pytest
+
+from repro.bytecode import Instruction, Opcode
+from repro.classfile import ClassFile, ClassFileBuilder
+from repro.errors import ClassFileError
+
+
+def build_two_method_class():
+    builder = ClassFileBuilder("app/A")
+    builder.add_field("counter", initial_value=0)
+    builder.add_method(
+        "main",
+        "()V",
+        [Instruction(Opcode.RETURN)],
+    )
+    builder.add_method(
+        "helper",
+        "(I)I",
+        [Instruction(Opcode.LOAD, (0,)), Instruction(Opcode.IRETURN)],
+    )
+    return builder.build()
+
+
+def test_builder_produces_named_class():
+    classfile = build_two_method_class()
+    assert classfile.name == "app/A"
+    assert [method.name for method in classfile.methods] == [
+        "main",
+        "helper",
+    ]
+
+
+def test_builder_interns_names_in_pool():
+    classfile = build_two_method_class()
+    pool = classfile.constant_pool
+    assert pool.find_utf8("app/A") is not None
+    assert pool.find_utf8("main") is not None
+    assert pool.find_utf8("counter") is not None
+    assert pool.find_utf8("Code") is not None
+
+
+def test_builder_rejects_duplicate_method():
+    builder = ClassFileBuilder("A")
+    builder.add_method("m")
+    with pytest.raises(ClassFileError):
+        builder.add_method("m")
+
+
+def test_method_lookup():
+    classfile = build_two_method_class()
+    assert classfile.method("helper").descriptor == "(I)I"
+    assert classfile.has_method("main")
+    assert not classfile.has_method("absent")
+    assert classfile.method_index("helper") == 1
+    with pytest.raises(ClassFileError):
+        classfile.method("absent")
+    with pytest.raises(ClassFileError):
+        classfile.method_index("absent")
+
+
+def test_field_lookup():
+    classfile = build_two_method_class()
+    assert classfile.field_named("counter").descriptor == "I"
+    with pytest.raises(ClassFileError):
+        classfile.field_named("absent")
+
+
+def test_reordered_permutes_methods():
+    classfile = build_two_method_class()
+    reordered = classfile.reordered(["helper", "main"])
+    assert [method.name for method in reordered.methods] == [
+        "helper",
+        "main",
+    ]
+    # The original is untouched; global data is shared.
+    assert [method.name for method in classfile.methods] == [
+        "main",
+        "helper",
+    ]
+    assert reordered.constant_pool is classfile.constant_pool
+
+
+def test_reordered_requires_permutation():
+    classfile = build_two_method_class()
+    with pytest.raises(ClassFileError):
+        classfile.reordered(["main"])
+    with pytest.raises(ClassFileError):
+        classfile.reordered(["main", "main"])
+    with pytest.raises(ClassFileError):
+        classfile.reordered(["main", "other"])
+
+
+def test_builder_cross_class_refs():
+    builder = ClassFileBuilder("A")
+    method_ref = builder.method_ref("B", "bar", "()V")
+    field_ref = builder.field_ref("B", "data")
+    pool = builder.constant_pool
+    assert pool.member_ref(method_ref) == ("B", "bar", "()V")
+    assert pool.member_ref(field_ref) == ("B", "data", "I")
+
+
+def test_builder_interfaces_and_attributes():
+    builder = ClassFileBuilder("A")
+    builder.add_interface("Runnable")
+    builder.add_attribute("SourceFile", b"A.mini")
+    classfile = builder.build()
+    assert classfile.interfaces == ("Runnable",)
+    assert classfile.attributes[0].name == "SourceFile"

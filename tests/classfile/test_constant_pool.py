@@ -1,0 +1,130 @@
+"""Constant pool interning, resolution, and size accounting."""
+
+import pytest
+
+from repro.classfile import (
+    ConstantPool,
+    ConstantTag,
+    IntegerEntry,
+    MethodRefEntry,
+    Utf8Entry,
+)
+from repro.errors import ConstantPoolError
+
+
+def test_indices_start_at_one():
+    pool = ConstantPool()
+    assert pool.add_utf8("hello") == 1
+    assert pool.get(1) == Utf8Entry("hello")
+
+
+def test_interning_returns_same_index():
+    pool = ConstantPool()
+    first = pool.add_utf8("dup")
+    second = pool.add_utf8("dup")
+    assert first == second
+    assert len(pool) == 1
+
+
+def test_distinct_values_get_distinct_indices():
+    pool = ConstantPool()
+    assert pool.add_integer(1) != pool.add_integer(2)
+
+
+def test_index_zero_is_invalid():
+    pool = ConstantPool()
+    pool.add_utf8("x")
+    with pytest.raises(ConstantPoolError):
+        pool.get(0)
+    with pytest.raises(ConstantPoolError):
+        pool.get(2)
+
+
+def test_get_typed_checks_entry_type():
+    pool = ConstantPool()
+    index = pool.add_integer(7)
+    with pytest.raises(ConstantPoolError):
+        pool.get_typed(index, Utf8Entry)
+
+
+def test_method_ref_resolution():
+    pool = ConstantPool()
+    index = pool.add_method_ref("pkg/Main", "run", "(I)V")
+    assert pool.member_ref(index) == ("pkg/Main", "run", "(I)V")
+
+
+def test_method_ref_shares_subentries():
+    pool = ConstantPool()
+    pool.add_method_ref("A", "f", "()V")
+    before = len(pool)
+    pool.add_field_ref("A", "f", "()V")
+    # Class, Utf8 and NameAndType entries are all shared.
+    assert len(pool) == before + 1
+
+
+def test_string_constant_value():
+    pool = ConstantPool()
+    index = pool.add_string("greeting")
+    assert pool.constant_value(index) == "greeting"
+
+
+def test_numeric_constant_values():
+    pool = ConstantPool()
+    assert pool.constant_value(pool.add_integer(-3)) == -3
+    assert pool.constant_value(pool.add_long(2**40)) == 2**40
+    assert pool.constant_value(pool.add_double(1.5)) == 1.5
+
+
+def test_non_loadable_constant_rejected():
+    pool = ConstantPool()
+    index = pool.add_class("A")
+    with pytest.raises(ConstantPoolError):
+        pool.constant_value(index)
+
+
+def test_integer_range_validation():
+    with pytest.raises(ConstantPoolError):
+        IntegerEntry(2**31)
+
+
+def test_entry_sizes():
+    assert Utf8Entry("abc").size == 1 + 2 + 3
+    assert IntegerEntry(0).size == 5
+    assert MethodRefEntry(1, 2).size == 5
+
+
+def test_pool_size_is_count_plus_entries():
+    pool = ConstantPool()
+    pool.add_utf8("ab")  # 5 bytes
+    pool.add_integer(1)  # 5 bytes
+    assert pool.size == 2 + 5 + 5
+
+
+def test_size_by_tag():
+    pool = ConstantPool()
+    pool.add_utf8("abcd")  # 7 bytes of UTF8
+    pool.add_string("abcd")  # +3 bytes STRING (utf8 shared)
+    breakdown = pool.size_by_tag()
+    assert breakdown[ConstantTag.UTF8] == 7
+    assert breakdown[ConstantTag.STRING] == 3
+    assert sum(breakdown.values()) + 2 == pool.size
+
+
+def test_class_name_resolution():
+    pool = ConstantPool()
+    index = pool.add_class("pkg/Thing")
+    assert pool.class_name(index) == "pkg/Thing"
+
+
+def test_member_ref_requires_member_entry():
+    pool = ConstantPool()
+    index = pool.add_utf8("zzz")
+    with pytest.raises(ConstantPoolError):
+        pool.member_ref(index)
+
+
+def test_find_utf8():
+    pool = ConstantPool()
+    index = pool.add_utf8("needle")
+    assert pool.find_utf8("needle") == index
+    assert pool.find_utf8("missing") is None

@@ -1,0 +1,89 @@
+"""Fields, methods, attributes, and descriptor parsing."""
+
+import pytest
+
+from repro.bytecode import Instruction, Opcode
+from repro.classfile import (
+    Attribute,
+    FieldInfo,
+    MethodInfo,
+    parse_descriptor,
+)
+from repro.errors import ClassFileError
+
+
+def test_parse_descriptor_simple():
+    descriptor = parse_descriptor("(II)I")
+    assert descriptor.parameters == ("I", "I")
+    assert descriptor.return_type == "I"
+    assert descriptor.arity == 2
+    assert descriptor.returns_value
+    assert str(descriptor) == "(II)I"
+
+
+def test_parse_descriptor_void_and_empty():
+    descriptor = parse_descriptor("()V")
+    assert descriptor.arity == 0
+    assert not descriptor.returns_value
+
+
+def test_parse_descriptor_array_parameter():
+    assert parse_descriptor("(AI)A").parameters == ("A", "I")
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "I", "()", "(X)V", "(I)X", "(I)", "(I)VV", "I)V"]
+)
+def test_parse_descriptor_rejects_malformed(bad):
+    with pytest.raises(ClassFileError):
+        parse_descriptor(bad)
+
+
+def test_attribute_size():
+    assert Attribute("Name", b"12345").size == 11
+    assert Attribute("Name").size == 6
+
+
+def test_field_size():
+    plain = FieldInfo("counter")
+    assert plain.size == 8
+    with_attr = FieldInfo("c", attributes=(Attribute("A", b"xy"),))
+    assert with_attr.size == 8 + 8
+
+
+def test_method_size_accounting():
+    method = MethodInfo(
+        name="run",
+        descriptor="()V",
+        instructions=[
+            Instruction(Opcode.ICONST, (1,)),  # 5
+            Instruction(Opcode.RETURN),  # 1
+        ],
+    )
+    assert method.code_bytes == 6
+    assert method.code_attribute_size == 6 + 8 + 6
+    assert method.local_data_attribute_size == 0
+    assert method.size == 8 + 20
+    assert method.local_bytes == 6
+
+
+def test_method_local_data_contributes():
+    method = MethodInfo(name="m", local_data=b"\x00" * 10)
+    assert method.local_data_attribute_size == 16
+    assert method.local_bytes == 10
+    assert method.size == 8 + (6 + 8 + 0) + 16
+
+
+def test_method_invalid_descriptor_rejected_eagerly():
+    with pytest.raises(ClassFileError):
+        MethodInfo(name="bad", descriptor="nope")
+
+
+def test_replace_instructions_copies():
+    method = MethodInfo(name="m", instructions=[Instruction(Opcode.NOP)])
+    replaced = method.replace_instructions(
+        [Instruction(Opcode.RETURN)]
+    )
+    assert replaced.instructions == [Instruction(Opcode.RETURN)]
+    assert method.instructions == [Instruction(Opcode.NOP)]
+    assert replaced.name == "m"

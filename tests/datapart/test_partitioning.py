@@ -1,0 +1,133 @@
+"""GMD partitioning: exact accounting and first-use attribution."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.classfile import ClassFileBuilder, class_layout
+from repro.datapart import (
+    method_pool_references,
+    partition_class,
+    partition_program,
+    reference_closure,
+    setup_pool_references,
+)
+from repro.errors import ClassFileError
+from repro.workloads import figure1_program
+
+
+def test_partition_accounts_for_every_global_byte():
+    program = figure1_program()
+    for classfile in program.classes:
+        partition = partition_class(classfile)
+        layout = class_layout(classfile)
+        assert partition.total_global_bytes == layout.global_bytes
+
+
+def test_percentages_sum_to_100():
+    for classfile in figure1_program().classes:
+        percentages = partition_class(classfile).percentages()
+        assert sum(percentages.values()) == pytest.approx(100.0)
+
+
+def test_entry_attributed_to_first_user():
+    """A constant used by two methods lands in the earlier one's GMD."""
+    builder = ClassFileBuilder("Share")
+    shared_index = builder.add_string_constant(
+        "a shared constant string payload"
+    )
+    builder.add_method(
+        "first", "()V", assemble(f"ldc {shared_index}\npop\nreturn")
+    )
+    builder.add_method(
+        "second", "()V", assemble(f"ldc {shared_index}\npop\nreturn")
+    )
+    partition = partition_class(builder.build())
+    assert partition.gmd_size("first") > partition.gmd_size("second")
+
+
+def test_unused_entries_detected():
+    builder = ClassFileBuilder("Waste")
+    builder.add_string_constant("never referenced by any method at all")
+    builder.add_method("main", "()V", assemble("return"))
+    partition = partition_class(builder.build())
+    assert partition.unused_bytes > 0
+
+
+def test_no_unused_when_everything_referenced():
+    builder = ClassFileBuilder("Tight")
+    index = builder.add_string_constant("used!")
+    builder.add_method(
+        "main", "()V", assemble(f"ldc {index}\npop\nreturn")
+    )
+    partition = partition_class(builder.build())
+    assert partition.unused_bytes == 0
+
+
+def test_gmd_order_follows_file_order():
+    program = figure1_program()
+    reordered = program.class_named("A").reordered(
+        ["Bar_A", "main", "Foo_A"]
+    )
+    partition = partition_class(reordered)
+    assert [name for name, _ in partition.gmd_sizes] == [
+        "Bar_A",
+        "main",
+        "Foo_A",
+    ]
+
+
+def test_reordering_moves_shared_bytes_to_new_first_user():
+    program = figure1_program()
+    classfile = program.class_named("A")
+    original = partition_class(classfile)
+    reordered = partition_class(
+        classfile.reordered(["Bar_A", "main", "Foo_A"])
+    )
+    # Totals are invariant under reordering.
+    assert (
+        original.total_global_bytes == reordered.total_global_bytes
+    )
+    assert original.unused_bytes == reordered.unused_bytes
+    assert original.first_bytes == reordered.first_bytes
+
+
+def test_gmd_lookup_unknown_method_raises():
+    partition = partition_class(figure1_program().classes[0])
+    with pytest.raises(ClassFileError):
+        partition.gmd_size("missing")
+
+
+def test_setup_references_include_class_and_fields():
+    classfile = figure1_program().class_named("A")
+    pool = classfile.constant_pool
+    setup = setup_pool_references(classfile)
+    assert pool.find_utf8("A") in setup
+    assert pool.find_utf8("a_total") in setup
+
+
+def test_method_references_include_call_chain():
+    classfile = figure1_program().class_named("A")
+    pool = classfile.constant_pool
+    main = classfile.method("main")
+    refs = method_pool_references(classfile, main)
+    # main calls B.Bar_B, so the Utf8 for "Bar_B" must be reachable.
+    assert pool.find_utf8("Bar_B") in refs
+    assert pool.find_utf8("main") in refs
+
+
+def test_reference_closure_transitive():
+    classfile = figure1_program().class_named("A")
+    pool = classfile.constant_pool
+    method_ref_index = next(
+        index
+        for index, entry in pool.entries()
+        if type(entry).__name__ == "MethodRefEntry"
+    )
+    closure = reference_closure(pool, {method_ref_index})
+    # MethodRef -> Class -> Utf8 and -> NameAndType -> 2x Utf8.
+    assert len(closure) >= 5
+
+
+def test_partition_program_covers_all_classes():
+    partitions = partition_program(figure1_program())
+    assert set(partitions) == {"A", "B"}

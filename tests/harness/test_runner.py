@@ -1,0 +1,39 @@
+"""The repro-experiments CLI."""
+
+import pytest
+
+from repro.harness.runner import EXPERIMENTS, main
+
+
+def test_experiment_registry_covers_all_tables():
+    assert set(EXPERIMENTS) == {
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "table10",
+        "figure6",
+    }
+
+
+def test_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table5" in out
+    assert "figure6" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "Jess" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["tableX"])

@@ -1,0 +1,286 @@
+"""Mini compiler: end-to-end semantics via the VM."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import compile_source
+from repro.program import MethodId
+from repro.vm import VirtualMachine
+
+
+def run(source: str):
+    return VirtualMachine(compile_source(source)).run()
+
+
+def test_arithmetic_and_print():
+    result = run(
+        "class A { func main() { print(2 + 3 * 4 - 6 / 2); } }"
+    )
+    assert result.output == [11]
+
+
+def test_unary_operators():
+    result = run(
+        "class A { func main() { print(-5); print(!0); print(!7); } }"
+    )
+    assert result.output == [-5, 1, 0]
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("1 < 2", 1),
+        ("2 < 1", 0),
+        ("2 <= 2", 1),
+        ("3 > 2", 1),
+        ("2 >= 3", 0),
+        ("4 == 4", 1),
+        ("4 != 4", 0),
+    ],
+)
+def test_comparisons(expr, expected):
+    result = run(f"class A {{ func main() {{ print({expr}); }} }}")
+    assert result.output == [expected]
+
+
+def test_short_circuit_and():
+    # If && were not short-circuit, boom() would print.
+    result = run(
+        """
+        class A {
+          func main() { print(0 && boom()); }
+          func boom() { print(666); return 1; }
+        }
+        """
+    )
+    assert result.output == [0]
+
+
+def test_short_circuit_or():
+    result = run(
+        """
+        class A {
+          func main() { print(1 || boom()); }
+          func boom() { print(666); return 1; }
+        }
+        """
+    )
+    assert result.output == [1]
+
+
+def test_while_loop_sum():
+    result = run(
+        """
+        class A { func main() {
+          var i = 1; var total = 0;
+          while (i <= 100) { total = total + i; i = i + 1; }
+          print(total);
+        } }
+        """
+    )
+    assert result.output == [5050]
+
+
+def test_if_else_branches():
+    result = run(
+        """
+        class A { func main() {
+          var x = 10;
+          if (x > 5) { print(1); } else { print(2); }
+          if (x < 5) { print(3); } else { print(4); }
+        } }
+        """
+    )
+    assert result.output == [1, 4]
+
+
+def test_recursion():
+    result = run(
+        """
+        class A {
+          func main() { print(fib(12)); }
+          func fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        }
+        """
+    )
+    assert result.output == [144]
+
+
+def test_cross_class_calls_and_globals():
+    result = run(
+        """
+        class Main {
+          func main() {
+            Counter.bump(); Counter.bump(); Counter.bump();
+            print(Counter.count);
+          }
+        }
+        class Counter {
+          global count = 0;
+          func bump() { Counter.count = Counter.count + 1; }
+        }
+        """
+    )
+    assert result.output == [3]
+    assert result.global_value("Counter", "count") == 3
+
+
+def test_unqualified_global_and_call_resolve_to_own_class():
+    result = run(
+        """
+        class A {
+          global acc = 1;
+          func main() { A.acc = double(A.acc); print(A.acc); }
+          func double(x) { return x * 2; }
+        }
+        """
+    )
+    assert result.output == [2]
+
+
+def test_arrays():
+    result = run(
+        """
+        class A { func main() {
+          var a = new[4];
+          var i = 0;
+          while (i < len(a)) { a[i] = i * i; i = i + 1; }
+          print(a[3]);
+          print(len(a));
+        } }
+        """
+    )
+    assert result.output == [9, 4]
+
+
+def test_string_literals():
+    result = run('class A { func main() { print("hello"); } }')
+    assert result.output == ["hello"]
+
+
+def test_halt_statement():
+    result = run(
+        "class A { func main() { print(1); halt; print(2); } }"
+    )
+    assert result.output == [1]
+    assert result.halted
+
+
+def test_rand_is_deterministic_across_runs():
+    source = "class A { func main() { print(rand()); } }"
+    assert run(source).output == run(source).output
+
+
+def test_void_call_as_statement_and_value_call_popped():
+    result = run(
+        """
+        class A {
+          func main() { noise(); value(); print(7); }
+          func noise() { }
+          func value() { return 42; }
+        }
+        """
+    )
+    assert result.output == [7]
+
+
+def test_entry_point_set_to_main():
+    program = compile_source(
+        "class X { func helper() {} }"
+        "class Y { func main() { print(0); } }"
+    )
+    assert program.entry_point == MethodId("Y", "main")
+
+
+def test_missing_main_rejected():
+    with pytest.raises(CompileError):
+        compile_source("class A { func helper() {} }")
+
+
+def test_undeclared_variable_rejected():
+    with pytest.raises(CompileError):
+        compile_source("class A { func main() { x = 1; } }")
+
+
+def test_duplicate_variable_rejected():
+    with pytest.raises(CompileError):
+        compile_source(
+            "class A { func main() { var x = 1; var x = 2; } }"
+        )
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(CompileError):
+        compile_source("class A { func main() { nope(); } }")
+
+
+def test_unknown_global_rejected():
+    with pytest.raises(CompileError):
+        compile_source("class A { func main() { print(B.g); } }")
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(CompileError):
+        compile_source(
+            "class A { func main() { f(1, 2); } func f(x) { } }"
+        )
+
+
+def test_void_function_in_expression_rejected():
+    with pytest.raises(CompileError):
+        compile_source(
+            "class A { func main() { print(f()); } func f() { } }"
+        )
+
+
+def test_bare_return_in_value_function_rejected():
+    with pytest.raises(CompileError):
+        compile_source(
+            "class A { func main() {} "
+            "func f() { if (1) { return 2; } return; } }"
+        )
+
+
+def test_fallthrough_value_function_returns_zero():
+    result = run(
+        """
+        class A {
+          func main() { print(f(0)); }
+          func f(x) { if (x > 0) { return 9; } }
+        }
+        """
+    )
+    assert result.output == [0]
+
+
+def test_compiled_program_supports_full_pipeline():
+    """Compiled programs flow through profiling and restructuring."""
+    from repro.reorder import profile_first_use, restructure
+
+    program = compile_source(
+        """
+        class Main {
+          func main() { var v = Helper.work(3); print(v); }
+        }
+        class Helper {
+          func unused() { return 1; }
+          func work(n) { return n * 2; }
+        }
+        """
+    )
+    order = profile_first_use(program)
+    restructured = restructure(program, order)
+    assert [m.name for m in restructured.class_named("Helper").methods] == [
+        "work",
+        "unused",
+    ]
+    assert VirtualMachine(restructured).run().output == [6]
+
+
+def test_compile_ast_direct():
+    """The AST entry point works without going through the parser."""
+    from repro.lang import compile_ast, parse
+
+    tree = parse("class A { func main() { print(4 + 5); } }")
+    program = compile_ast(tree)
+    assert VirtualMachine(program).run().output == [9]

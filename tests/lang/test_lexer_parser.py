@@ -1,0 +1,153 @@
+"""Mini lexer and parser."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import TokenKind, parse, tokenize
+from repro.lang import ast
+
+
+def test_tokenize_kinds():
+    tokens = tokenize('class A { global x = 3; } // note\n"hi"')
+    kinds = [token.kind for token in tokens]
+    assert kinds[0] == TokenKind.KEYWORD
+    assert kinds[1] == TokenKind.NAME
+    assert TokenKind.INT in kinds
+    assert TokenKind.STRING in kinds
+    assert kinds[-1] == TokenKind.EOF
+
+
+def test_tokenize_two_char_operators():
+    texts = [t.text for t in tokenize("a <= b == c && d || !e")]
+    assert "<=" in texts
+    assert "==" in texts
+    assert "&&" in texts
+    assert "||" in texts
+    assert "!" in texts
+
+
+def test_tokenize_positions():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_tokenize_rejects_unterminated_string():
+    with pytest.raises(CompileError):
+        tokenize('"oops')
+
+
+def test_tokenize_rejects_stray_character():
+    with pytest.raises(CompileError):
+        tokenize("class A { @ }")
+
+
+def test_parse_class_structure():
+    node = parse(
+        """
+        class A {
+          global count = 5;
+          global items;
+          func main() { }
+          func helper(x, y) { return x + y; }
+        }
+        """
+    )
+    assert len(node.classes) == 1
+    class_node = node.classes[0]
+    assert class_node.name == "A"
+    assert [g.name for g in class_node.globals] == ["count", "items"]
+    assert class_node.globals[0].initial_value == 5
+    assert class_node.globals[1].initial_value is None
+    assert [f.name for f in class_node.funcs] == ["main", "helper"]
+    assert class_node.funcs[1].params == ("x", "y")
+
+
+def test_parse_negative_global_initializer():
+    node = parse("class A { global x = -7; func main() {} }")
+    assert node.classes[0].globals[0].initial_value == -7
+
+
+def test_parse_precedence():
+    node = parse("class A { func main() { var x = 1 + 2 * 3; } }")
+    decl = node.classes[0].funcs[0].body[0]
+    assert isinstance(decl.value, ast.Binary)
+    assert decl.value.op == "+"
+    assert isinstance(decl.value.right, ast.Binary)
+    assert decl.value.right.op == "*"
+
+
+def test_parse_if_else_chain():
+    node = parse(
+        """
+        class A { func main() {
+          if (1 < 2) { print(1); } else if (2 < 3) { print(2); }
+          else { print(3); }
+        } }
+        """
+    )
+    if_node = node.classes[0].funcs[0].body[0]
+    assert isinstance(if_node, ast.If)
+    assert isinstance(if_node.else_body[0], ast.If)
+
+
+def test_parse_assignment_targets():
+    node = parse(
+        """
+        class A { global g;
+          func main() {
+            var x = 0;
+            x = 1;
+            A.g = 2;
+            g = 3;
+            x = x;
+          }
+        }
+        """
+    )
+    body = node.classes[0].funcs[0].body
+    assert isinstance(body[1], ast.Assign)
+    assert isinstance(body[2], ast.GlobalAssign)
+    assert body[2].class_name == "A"
+    # 'g = 3' with no local g parses as a variable assignment (the
+    # compiler reports the undeclared variable).
+    assert isinstance(body[3], ast.Assign)
+
+
+def test_parse_index_assignment():
+    node = parse(
+        "class A { func main() { var a = new[3]; a[0] = 9; } }"
+    )
+    assign = node.classes[0].funcs[0].body[1]
+    assert isinstance(assign, ast.IndexAssign)
+
+
+def test_parse_cross_class_call_and_global():
+    node = parse(
+        "class A { func main() { var v = B.f(1) + B.g; } }"
+        "class B { global g; func f(x) { return x; } }"
+    )
+    value = node.classes[0].funcs[0].body[0].value
+    assert isinstance(value.left, ast.Call)
+    assert value.left.class_name == "B"
+    assert isinstance(value.right, ast.GlobalRef)
+
+
+def test_parse_rejects_bad_assignment_target():
+    with pytest.raises(CompileError):
+        parse("class A { func main() { 1 = 2; } }")
+
+
+def test_parse_rejects_duplicate_params():
+    with pytest.raises(CompileError):
+        parse("class A { func f(x, x) { } func main() {} }")
+
+
+def test_parse_rejects_empty_program():
+    with pytest.raises(CompileError):
+        parse("   // nothing\n")
+
+
+def test_parse_rejects_missing_semicolon():
+    with pytest.raises(CompileError):
+        parse("class A { func main() { var x = 1 } }")

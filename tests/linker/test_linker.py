@@ -1,0 +1,112 @@
+"""Incremental linking order, lazy resolution, cost model."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.linker import IncrementalLinker, LinkCostModel, ResolutionTable
+from repro.program import MethodId
+from repro.workloads import figure1_program
+
+
+def test_strict_link_all():
+    program = figure1_program()
+    linker = IncrementalLinker(program)
+    report = linker.link_all_strict()
+    assert report.classes_prepared == 2
+    assert report.methods_verified == 5
+    assert report.methods_resolved == 5
+    assert report.total_cycles == 0.0  # zero cost model
+
+
+def test_incremental_order_enforced():
+    program = figure1_program()
+    linker = IncrementalLinker(program)
+    with pytest.raises(LinkError):
+        linker.on_method_arrival(MethodId("A", "main"))
+    linker.on_global_data("A")
+    with pytest.raises(LinkError):
+        linker.on_first_invocation(MethodId("A", "main"))
+    linker.on_method_arrival(MethodId("A", "main"))
+    linker.on_first_invocation(MethodId("A", "main"))
+    assert MethodId("A", "main") in linker.verified_methods
+
+
+def test_events_are_idempotent():
+    program = figure1_program()
+    linker = IncrementalLinker(program)
+    linker.on_global_data("A")
+    linker.on_global_data("A")
+    linker.on_method_arrival(MethodId("A", "main"))
+    linker.on_method_arrival(MethodId("A", "main"))
+    linker.on_first_invocation(MethodId("A", "main"))
+    linker.on_first_invocation(MethodId("A", "main"))
+    assert linker.report.classes_prepared == 1
+    assert linker.report.methods_verified == 1
+    assert linker.report.methods_resolved == 1
+
+
+def test_cost_model_accumulates():
+    program = figure1_program()
+    linker = IncrementalLinker(
+        program, LinkCostModel.default_overhead()
+    )
+    report = linker.link_all_strict()
+    assert report.verification_cycles > 0
+    assert report.resolution_cycles > 0
+    assert report.total_cycles == pytest.approx(
+        report.verification_cycles + report.resolution_cycles
+    )
+
+
+def test_resolution_finds_internal_and_external():
+    from repro.bytecode import assemble
+    from repro.classfile import ClassFileBuilder
+    from repro.program import Program
+
+    builder = ClassFileBuilder("R")
+    internal_ref = builder.method_ref("R", "helper", "()V")
+    external_ref = builder.method_ref("java/Sys", "nat", "()V")
+    builder.add_method(
+        "main",
+        "()V",
+        assemble(f"call {internal_ref}\ncall {external_ref}\nreturn"),
+    )
+    builder.add_method("helper", "()V", assemble("return"))
+    program = Program(classes=[builder.build()])
+    table = ResolutionTable(program)
+    refs = table.resolve_method(MethodId("R", "main"))
+    assert [ref.internal for ref in refs] == [True, False]
+    assert table.external_references() == {("java/Sys", "nat")}
+
+
+def test_resolution_missing_internal_member_raises():
+    from repro.bytecode import assemble
+    from repro.classfile import ClassFileBuilder
+    from repro.program import Program
+
+    builder = ClassFileBuilder("R")
+    bad_ref = builder.method_ref("R", "ghost", "()V")
+    builder.add_method("main", "()V", assemble(f"call {bad_ref}\nreturn"))
+    program = Program(classes=[builder.build()])
+    with pytest.raises(LinkError):
+        ResolutionTable(program).resolve_method(MethodId("R", "main"))
+    # Lenient mode records it as external instead.
+    lenient = ResolutionTable(program, strict_missing=False)
+    refs = lenient.resolve_method(MethodId("R", "main"))
+    assert not refs[0].internal
+
+
+def test_resolution_caches():
+    program = figure1_program()
+    table = ResolutionTable(program)
+    first = table.resolve_method(MethodId("A", "main"))
+    second = table.resolve_method(MethodId("A", "main"))
+    assert first is second
+    assert table.is_resolved(MethodId("A", "main"))
+
+
+def test_resolve_all_covers_program():
+    program = figure1_program()
+    table = ResolutionTable(program)
+    resolved = table.resolve_all()
+    assert set(resolved) == set(program.method_ids())

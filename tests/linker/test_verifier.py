@@ -1,0 +1,208 @@
+"""The verifier: accepts well-formed code, rejects each violation."""
+
+import pytest
+
+from repro.bytecode import Instruction, Opcode, assemble
+from repro.classfile import ClassFileBuilder, MethodInfo
+from repro.errors import VerificationError
+from repro.lang import compile_source
+from repro.linker import verify_class, verify_global_data, verify_method
+from repro.workloads import (
+    fibonacci_program,
+    figure1_program,
+    mutual_recursion_program,
+)
+
+
+def test_example_programs_verify():
+    for program in (
+        figure1_program(),
+        fibonacci_program(),
+        mutual_recursion_program(),
+    ):
+        for classfile in program.classes:
+            verify_class(classfile)
+
+
+def test_compiled_mini_programs_verify():
+    program = compile_source(
+        """
+        class A {
+          global g = 1;
+          func main() {
+            var i = 0;
+            while (i < 3) { A.g = A.g * 2; i = i + 1; }
+            print(work(A.g));
+          }
+          func work(x) { if (x > 4) { return x - 4; } return x; }
+        }
+        """
+    )
+    for classfile in program.classes:
+        verify_class(classfile)
+
+
+def build_method(source, descriptor="()V", max_stack=16, max_locals=8):
+    builder = ClassFileBuilder("V")
+    builder.add_method(
+        "m",
+        descriptor,
+        assemble(source),
+        max_stack=max_stack,
+        max_locals=max_locals,
+    )
+    classfile = builder.build()
+    return classfile, classfile.method("m")
+
+
+def test_stack_underflow_rejected():
+    classfile, method = build_method("pop\nreturn")
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_stack_overflow_rejected():
+    classfile, method = build_method(
+        "iconst 1\niconst 2\niconst 3\npop\npop\npop\nreturn",
+        max_stack=2,
+    )
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_inconsistent_join_depth_rejected():
+    # One path leaves a value, the other does not.
+    classfile, method = build_method(
+        """
+        load 0
+        ifeq skip
+        iconst 9
+        skip:
+        return
+        """
+    )
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_value_left_at_return_rejected():
+    classfile, method = build_method("iconst 1\nreturn")
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_return_kind_must_match_descriptor():
+    classfile, method = build_method("return", descriptor="()I")
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+    classfile, method = build_method(
+        "iconst 1\nireturn", descriptor="()V"
+    )
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_local_slot_beyond_max_locals_rejected():
+    classfile, method = build_method(
+        "load 7\npop\nreturn", max_locals=4
+    )
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_arity_beyond_max_locals_rejected():
+    classfile, method = build_method(
+        "return", descriptor="(IIIII)V", max_locals=2
+    )
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_empty_method_rejected():
+    builder = ClassFileBuilder("V")
+    builder.add_method("m", "()V", [])
+    classfile = builder.build()
+    with pytest.raises(VerificationError):
+        verify_method(classfile, classfile.method("m"))
+
+
+def test_fall_off_end_rejected():
+    classfile, method = build_method("iconst 1\npop")
+    with pytest.raises(VerificationError):
+        verify_method(classfile, method)
+
+
+def test_ldc_of_non_loadable_rejected():
+    builder = ClassFileBuilder("V")
+    class_index = builder.constant_pool.add_class("Other")
+    builder.add_method(
+        "m", "()V", assemble(f"ldc {class_index}\npop\nreturn")
+    )
+    classfile = builder.build()
+    with pytest.raises(VerificationError):
+        verify_method(classfile, classfile.method("m"))
+
+
+def test_call_operand_must_be_method_ref():
+    builder = ClassFileBuilder("V")
+    field_ref = builder.field_ref("V", "x")
+    builder.add_field("x")
+    builder.add_method("m", "()V", assemble(f"call {field_ref}\nreturn"))
+    classfile = builder.build()
+    with pytest.raises(VerificationError):
+        verify_method(classfile, classfile.method("m"))
+
+
+def test_getstatic_operand_must_be_field_ref():
+    builder = ClassFileBuilder("V")
+    method_ref = builder.method_ref("V", "m", "()V")
+    builder.add_method(
+        "m", "()V", assemble(f"getstatic {method_ref}\npop\nreturn")
+    )
+    classfile = builder.build()
+    with pytest.raises(VerificationError):
+        verify_method(classfile, classfile.method("m"))
+
+
+def test_loop_with_balanced_stack_accepted():
+    classfile, method = build_method(
+        """
+        iconst 10
+        store 0
+        loop:
+        load 0
+        ifle out
+        load 0
+        iconst 1
+        sub
+        store 0
+        goto loop
+        out:
+        return
+        """
+    )
+    verify_method(classfile, method)
+
+
+def test_global_data_bad_field_descriptor_rejected():
+    from repro.classfile import ClassFile, FieldInfo
+
+    classfile = ClassFile(
+        name="V", fields=(FieldInfo("x", descriptor="Z"),)
+    )
+    with pytest.raises(VerificationError):
+        verify_global_data(classfile)
+
+
+def test_structure_duplicate_methods_rejected():
+    from repro.classfile import ClassFile
+
+    classfile = ClassFile(
+        name="V",
+        methods=[
+            MethodInfo(name="m", instructions=[Instruction(Opcode.RETURN)]),
+            MethodInfo(name="m", instructions=[Instruction(Opcode.RETURN)]),
+        ],
+    )
+    with pytest.raises(VerificationError):
+        verify_class(classfile)

@@ -1,0 +1,154 @@
+"""Profile-guided ordering (§4.2) and restructuring (Figure 3)."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.classfile import ClassFileBuilder, class_layout
+from repro.errors import ReorderError
+from repro.program import MethodId, Program
+from repro.reorder import (
+    estimate_first_use,
+    order_from_profile,
+    profile_first_use,
+    profile_program,
+    restructure,
+)
+from repro.vm import FirstUseEvent, FirstUseProfile
+from repro.workloads import figure1_program
+
+
+def input_dependent_program():
+    """main(flag): flag != 0 calls `hot`, else calls `cold`."""
+    builder = ClassFileBuilder("P")
+    hot_ref = builder.method_ref("P", "hot", "()V")
+    cold_ref = builder.method_ref("P", "cold", "()V")
+    builder.add_method(
+        "main",
+        "(I)V",
+        assemble(
+            f"""
+            load 0
+            ifeq cold_path
+            call {hot_ref}
+            return
+        cold_path:
+            call {cold_ref}
+            return
+            """
+        ),
+    )
+    builder.add_method("cold", "()V", assemble("nop\nreturn"))
+    builder.add_method("hot", "()V", assemble("nop\nreturn"))
+    return Program(
+        classes=[builder.build()], entry_point=MethodId("P", "main")
+    )
+
+
+def test_profile_order_matches_execution():
+    program = figure1_program()
+    order = profile_first_use(program)
+    assert order.order == [
+        MethodId("A", "main"),
+        MethodId("B", "Bar_B"),
+        MethodId("A", "Bar_A"),
+        MethodId("A", "Foo_A"),
+        MethodId("B", "Foo_B"),
+    ]
+    assert order.source == "profile"
+    assert all(not entry.estimated for entry in order.entries)
+
+
+def test_unexecuted_methods_fall_back_to_static_order():
+    program = input_dependent_program()
+    profile = profile_program(program, args=(1,))  # takes the hot path
+    order = order_from_profile(program, profile)
+    assert order.order[:2] == [
+        MethodId("P", "main"),
+        MethodId("P", "hot"),
+    ]
+    cold_entry = order.entry_for(MethodId("P", "cold"))
+    assert cold_entry.estimated
+    # The fallback entry sorts after every profiled method's bytes.
+    hot_entry = order.entry_for(MethodId("P", "hot"))
+    assert cold_entry.bytes_before >= hot_entry.bytes_before
+
+
+def test_train_vs_test_input_divergence():
+    """Profiling with one input mispredicts the other — the paper's
+    Train-vs-Test distinction."""
+    program = input_dependent_program()
+    train_profile = profile_program(program, args=(0,))  # cold path
+    order = order_from_profile(program, train_profile)
+    assert order.position(MethodId("P", "cold")) < order.position(
+        MethodId("P", "hot")
+    )
+    test_profile = profile_program(program, args=(1,))  # hot path
+    assert test_profile.was_executed(MethodId("P", "hot"))
+    assert not test_profile.was_executed(MethodId("P", "cold"))
+
+
+def test_profile_with_unknown_method_rejected():
+    program = input_dependent_program()
+    bogus = FirstUseProfile(
+        events=[
+            FirstUseEvent(
+                method=MethodId("Zed", "zed"),
+                index=0,
+                dynamic_instructions_before=0,
+                unique_bytes_before=0,
+            )
+        ]
+    )
+    with pytest.raises(ReorderError):
+        order_from_profile(program, bogus)
+
+
+def test_restructure_matches_figure3():
+    program = figure1_program()
+    order = estimate_first_use(program)
+    restructured = restructure(program, order)
+    assert [m.name for m in restructured.class_named("A").methods] == [
+        "main",
+        "Bar_A",
+        "Foo_A",
+    ]
+    assert [m.name for m in restructured.class_named("B").methods] == [
+        "Bar_B",
+        "Foo_B",
+    ]
+
+
+def test_restructure_preserves_sizes_and_original():
+    program = figure1_program()
+    order = estimate_first_use(program)
+    before_a = class_layout(program.class_named("A"))
+    restructured = restructure(program, order)
+    after_a = class_layout(restructured.class_named("A"))
+    assert before_a.strict_size == after_a.strict_size
+    assert before_a.global_size == after_a.global_size
+    # Original program untouched.
+    assert [m.name for m in program.class_named("A").methods] == [
+        "main",
+        "Foo_A",
+        "Bar_A",
+    ]
+
+
+def test_restructure_preserves_semantics():
+    from repro.vm import VirtualMachine
+
+    program = figure1_program()
+    restructured = restructure(program, estimate_first_use(program))
+    original = VirtualMachine(program).run()
+    modified = VirtualMachine(restructured).run()
+    assert original.globals == modified.globals
+    assert (
+        original.instructions_executed == modified.instructions_executed
+    )
+
+
+def test_restructure_rejects_mismatched_order():
+    program = figure1_program()
+    other_order = estimate_first_use(input_dependent_program())
+    with pytest.raises(ReorderError):
+        restructure(program, other_order)

@@ -1,0 +1,137 @@
+"""Procedure splitting: semantics preserved, units shrink."""
+
+import pytest
+
+from repro.bytecode import CodeBuilder, Instruction, Opcode, SysCall
+from repro.classfile import ClassFileBuilder
+from repro.errors import ReorderError
+from repro.program import MethodId, Program
+from repro.reorder import split_large_methods, split_method
+from repro.vm import VirtualMachine
+
+
+def build_straightline_program(chunks=6, chunk_work=8):
+    """A long straight-line main accumulating into a global."""
+    builder = ClassFileBuilder("Big")
+    builder.add_field("acc", initial_value=0)
+    acc = builder.field_ref("Big", "acc")
+    code = CodeBuilder()
+    for chunk in range(chunks):
+        for step in range(chunk_work):
+            code.emit(Opcode.GETSTATIC, acc)
+            code.emit(Opcode.ICONST, chunk * chunk_work + step)
+            code.emit(Opcode.ADD)
+            code.emit(Opcode.PUTSTATIC, acc)
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    return Program(classes=[builder.build()])
+
+
+def test_split_preserves_semantics():
+    program = build_straightline_program()
+    baseline = VirtualMachine(program).run()
+    split_class = split_method(program.classes[0], "main", 120)
+    split_program = Program(
+        classes=[split_class], entry_point=MethodId("Big", "main")
+    )
+    result = VirtualMachine(split_program).run()
+    assert result.global_value("Big", "acc") == baseline.global_value(
+        "Big", "acc"
+    )
+
+
+def test_split_produces_multiple_bounded_pieces():
+    program = build_straightline_program()
+    original_size = program.method(MethodId("Big", "main")).code_bytes
+    split_class = split_method(program.classes[0], "main", 120)
+    pieces = [m for m in split_class.methods if m.name.startswith("main")]
+    assert len(pieces) >= 3
+    # Every piece but possibly the last is within bound plus call glue.
+    for piece in pieces:
+        assert piece.code_bytes < original_size
+
+
+def test_split_forwards_locals():
+    """A local set in the first piece must be visible in later pieces."""
+    builder = ClassFileBuilder("Loc")
+    builder.add_field("out")
+    out = builder.field_ref("Loc", "out")
+    code = CodeBuilder()
+    code.emit(Opcode.ICONST, 1234)
+    code.emit(Opcode.STORE, 0)
+    for _ in range(30):  # padding so a split point exists in between
+        code.emit(Opcode.ICONST, 0)
+        code.emit(Opcode.SYS, SysCall.BLACKHOLE)
+    code.emit(Opcode.LOAD, 0)
+    code.emit(Opcode.PUTSTATIC, out)
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    split_class = split_method(builder.build(), "main", 60)
+    program = Program(
+        classes=[split_class], entry_point=MethodId("Loc", "main")
+    )
+    result = VirtualMachine(program).run()
+    assert result.global_value("Loc", "out") == 1234
+
+
+def test_split_propagates_return_value():
+    builder = ClassFileBuilder("Ret")
+    code = CodeBuilder()
+    code.emit(Opcode.ICONST, 10)
+    code.emit(Opcode.STORE, 0)
+    for _ in range(30):
+        code.emit(Opcode.ICONST, 0)
+        code.emit(Opcode.SYS, SysCall.BLACKHOLE)
+    code.emit(Opcode.LOAD, 0)
+    code.emit(Opcode.IRETURN)
+    builder.add_method("compute", "()I", code.build())
+    ref = builder.method_ref("Ret", "compute", "()I")
+    builder.add_field("res")
+    builder.add_method(
+        "main",
+        "()V",
+        [
+            Instruction(Opcode.CALL, (ref,)),
+            Instruction(Opcode.PUTSTATIC, (builder.field_ref("Ret", "res"),)),
+            Instruction(Opcode.RETURN),
+        ],
+    )
+    split_class = split_method(builder.build(), "compute", 60)
+    program = Program(
+        classes=[split_class], entry_point=MethodId("Ret", "main")
+    )
+    result = VirtualMachine(program).run()
+    assert result.global_value("Ret", "res") == 10
+
+
+def test_branchy_method_rejected():
+    builder = ClassFileBuilder("Br")
+    from repro.bytecode import assemble
+
+    builder.add_method(
+        "main",
+        "()V",
+        assemble("loop:\nload 0\nifgt loop\nreturn"),
+    )
+    with pytest.raises(ReorderError):
+        split_method(builder.build(), "main", 2)
+
+
+def test_small_method_rejected():
+    program = build_straightline_program(chunks=1, chunk_work=1)
+    with pytest.raises(ReorderError):
+        split_method(program.classes[0], "main", 10_000)
+
+
+def test_split_large_methods_is_opportunistic():
+    program = build_straightline_program()
+    split_program = split_large_methods(program, 120)
+    assert split_program.method_count > program.method_count
+    baseline = VirtualMachine(program).run()
+    result = VirtualMachine(split_program).run()
+    assert result.globals == baseline.globals
+    # A program with nothing to split passes through unchanged.
+    from repro.workloads import figure1_program
+
+    untouched = split_large_methods(figure1_program(), 10_000)
+    assert untouched.method_count == figure1_program().method_count

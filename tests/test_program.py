@@ -1,0 +1,86 @@
+"""The Program model: lookups, entry points, layout permutations."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.classfile import ClassFileBuilder
+from repro.errors import ClassFileError
+from repro.program import MethodId, Program
+from repro.workloads import figure1_program
+
+
+def one_class(name="C", methods=("main",)):
+    builder = ClassFileBuilder(name)
+    for method in methods:
+        builder.add_method(method, "()V", assemble("return"))
+    return builder.build()
+
+
+def test_entry_point_defaults_to_first_class_main():
+    program = Program(classes=[one_class()])
+    assert program.entry_point == MethodId("C", "main")
+
+
+def test_no_main_means_no_default_entry():
+    program = Program(classes=[one_class(methods=("other",))])
+    assert program.entry_point is None
+    with pytest.raises(ClassFileError):
+        program.resolve_entry()
+
+
+def test_explicit_entry_validated():
+    program = Program(
+        classes=[one_class()],
+        entry_point=MethodId("C", "missing"),
+    )
+    with pytest.raises(ClassFileError):
+        program.resolve_entry()
+
+
+def test_duplicate_class_names_rejected():
+    with pytest.raises(ClassFileError):
+        Program(classes=[one_class("X"), one_class("X")])
+
+
+def test_lookups():
+    program = figure1_program()
+    assert program.has_class("A")
+    assert not program.has_class("Z")
+    assert program.has_method(MethodId("B", "Bar_B"))
+    assert not program.has_method(MethodId("B", "nope"))
+    assert not program.has_method(MethodId("Z", "nope"))
+    assert program.method(MethodId("A", "main")).name == "main"
+    with pytest.raises(ClassFileError):
+        program.class_named("Z")
+
+
+def test_method_ids_iterate_in_file_order():
+    program = figure1_program()
+    ids = list(program.method_ids())
+    assert ids[0] == MethodId("A", "main")
+    assert len(ids) == program.method_count == 5
+    assert [m for m, _ in program.methods()] == ids
+
+
+def test_with_class_order():
+    program = figure1_program()
+    flipped = program.with_class_order(["B", "A"])
+    assert flipped.class_names == ["B", "A"]
+    assert flipped.entry_point == program.entry_point
+    with pytest.raises(ClassFileError):
+        program.with_class_order(["A"])
+    with pytest.raises(ClassFileError):
+        program.with_class_order(["A", "A"])
+
+
+def test_restructured_partial_orders():
+    program = figure1_program()
+    changed = program.restructured({"B": ["Bar_B", "Foo_B"]})
+    assert [m.name for m in changed.class_named("B").methods] == [
+        "Bar_B",
+        "Foo_B",
+    ]
+    # Class A untouched.
+    assert [m.name for m in changed.class_named("A").methods] == [
+        m.name for m in program.class_named("A").methods
+    ]

@@ -1,0 +1,62 @@
+"""The top-level package surface."""
+
+import repro
+
+
+def test_every_name_in_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_module_docstring_runs():
+    program = repro.figure1_program()
+    result, recorder = repro.record_run(program)
+    order = repro.estimate_first_use(program)
+    sim = repro.run_nonstrict(
+        program, recorder.trace, order, repro.T1_LINK, cpi=50
+    )
+    base = repro.strict_baseline(
+        program, recorder.trace, repro.T1_LINK, cpi=50
+    )
+    assert 0 < sim.normalized_to(base.total_cycles) < 200
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        AssemblyError,
+        BytecodeError,
+        ClassFileError,
+        CompileError,
+        ConstantPoolError,
+        ReproError,
+        SimulationError,
+        StackUnderflowError,
+        TransferError,
+        VerificationError,
+        VMError,
+        WorkloadError,
+    )
+
+    for error in (
+        BytecodeError,
+        ClassFileError,
+        CompileError,
+        SimulationError,
+        TransferError,
+        VerificationError,
+        VMError,
+        WorkloadError,
+    ):
+        assert issubclass(error, ReproError)
+    assert issubclass(AssemblyError, BytecodeError)
+    assert issubclass(ConstantPoolError, ClassFileError)
+    assert issubclass(StackUnderflowError, VMError)
+
+
+def test_paper_benchmark_registry():
+    assert len(repro.PAPER_BENCHMARKS) == 6
+    assert repro.benchmark_spec("BIT").cpi == 147

@@ -1,0 +1,138 @@
+"""Program/trace/profile persistence."""
+
+import json
+
+import pytest
+
+from repro import (
+    load_profile,
+    load_program,
+    load_trace,
+    record_run,
+    save_profile,
+    save_program,
+    save_trace,
+)
+from repro.classfile import serialize
+from repro.errors import ClassFileError, ReproError
+from repro.program import MethodId
+from repro.vm import VirtualMachine
+from repro.workloads import figure1_program, mutual_recursion_program
+
+
+@pytest.fixture()
+def stored(tmp_path):
+    program = figure1_program()
+    directory = save_program(program, tmp_path / "prog")
+    return program, directory
+
+
+def test_program_roundtrip(stored):
+    program, directory = stored
+    loaded = load_program(directory)
+    assert loaded.class_names == program.class_names
+    assert loaded.entry_point == program.entry_point
+    for original, recovered in zip(program.classes, loaded.classes):
+        assert serialize(original) == serialize(recovered)
+
+
+def test_loaded_program_runs_identically(stored):
+    program, directory = stored
+    loaded = load_program(directory)
+    assert (
+        VirtualMachine(loaded).run().globals
+        == VirtualMachine(program).run().globals
+    )
+
+
+def test_package_separators_flattened(tmp_path):
+    from repro.workloads.synthetic import generate_workload
+
+    program = generate_workload("Hanoi").program  # names contain '/'
+    directory = save_program(program, tmp_path / "hanoi")
+    loaded = load_program(directory)
+    assert loaded.class_names == program.class_names
+
+
+def test_missing_manifest_rejected(tmp_path):
+    with pytest.raises(ClassFileError):
+        load_program(tmp_path)
+
+
+def test_corrupt_manifest_rejected(tmp_path):
+    (tmp_path / "program.json").write_text("{not json")
+    with pytest.raises(ClassFileError):
+        load_program(tmp_path)
+
+
+def test_missing_class_file_rejected(stored, tmp_path):
+    _, directory = stored
+    (directory / "A.rclass").unlink()
+    with pytest.raises(ClassFileError):
+        load_program(directory)
+
+
+def test_manifest_name_mismatch_rejected(stored):
+    program, directory = stored
+    manifest = json.loads((directory / "program.json").read_text())
+    manifest["classes"][0]["name"] = "Wrong"
+    (directory / "program.json").write_text(json.dumps(manifest))
+    with pytest.raises(ClassFileError):
+        load_program(directory)
+
+
+def test_trace_roundtrip(tmp_path):
+    program = figure1_program()
+    _, recorder = record_run(program)
+    path = save_trace(recorder.trace, tmp_path / "trace.json")
+    loaded = load_trace(path)
+    assert loaded.segments == recorder.trace.segments
+    assert (
+        loaded.total_instructions == recorder.trace.total_instructions
+    )
+
+
+def test_corrupt_trace_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"segments": [["A"]]}')
+    with pytest.raises(ReproError):
+        load_trace(path)
+    path.write_text("nonsense")
+    with pytest.raises(ReproError):
+        load_trace(path)
+
+
+def test_profile_roundtrip(tmp_path):
+    program = mutual_recursion_program()
+    _, recorder = record_run(program)
+    path = save_profile(recorder.profile, tmp_path / "profile.json")
+    loaded = load_profile(path)
+    assert loaded.order == recorder.profile.order
+    assert (
+        loaded.total_instructions
+        == recorder.profile.total_instructions
+    )
+    method = MethodId("Even", "is_even")
+    assert (
+        loaded.method_stats[method].invocations
+        == recorder.profile.method_stats[method].invocations
+    )
+
+
+def test_loaded_profile_drives_reordering(tmp_path):
+    from repro.reorder import order_from_profile
+
+    program = figure1_program()
+    _, recorder = record_run(program)
+    path = save_profile(recorder.profile, tmp_path / "p.json")
+    loaded = load_profile(path)
+    from_disk = order_from_profile(program, loaded)
+    direct = order_from_profile(program, recorder.profile)
+    assert from_disk.order == direct.order
+
+
+def test_corrupt_profile_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"events": [{"class": "A"}], "stats": []}')
+    with pytest.raises(ReproError):
+        load_profile(path)

@@ -1,0 +1,104 @@
+"""The repro-inspect command-line toolbox."""
+
+import pytest
+
+from repro import record_run, save_program, save_trace
+from repro.tools import main
+from repro.workloads import figure1_program
+
+
+@pytest.fixture()
+def stored(tmp_path):
+    program = figure1_program()
+    directory = save_program(program, tmp_path / "prog")
+    _, recorder = record_run(program)
+    trace = save_trace(recorder.trace, tmp_path / "trace.json")
+    return str(directory), str(trace)
+
+
+def test_layout(stored, capsys):
+    directory, _ = stored
+    assert main(["layout", directory]) == 0
+    out = capsys.readouterr().out
+    assert "A:" in out and "global" in out
+
+
+def test_layout_verbose_lists_methods(stored, capsys):
+    directory, _ = stored
+    assert main(["layout", directory, "--verbose"]) == 0
+    assert "Bar_A" in capsys.readouterr().out
+
+
+def test_disasm_lists_and_dumps(stored, capsys):
+    directory, _ = stored
+    assert main(["disasm", directory, "B"]) == 0
+    listing = capsys.readouterr().out
+    assert "Foo_B(I)I" in listing
+    assert main(["disasm", directory, "B", "Foo_B"]) == 0
+    body = capsys.readouterr().out
+    assert "ireturn" in body
+
+
+def test_order(stored, capsys):
+    directory, _ = stored
+    assert main(["order", directory]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].endswith("(bytes before: 0)")
+    assert "A.main" in out
+
+
+def test_partition(stored, capsys):
+    directory, _ = stored
+    assert main(["partition", directory]) == 0
+    assert "%" in capsys.readouterr().out
+
+
+def test_verify_ok(stored, capsys):
+    directory, _ = stored
+    assert main(["verify", directory]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 2
+
+
+def test_verify_reports_failures(tmp_path, capsys):
+    """A corrupted method body must be caught and exit non-zero."""
+    from repro.bytecode import Instruction, Opcode
+    from repro.classfile import ClassFileBuilder
+    from repro.program import Program
+    from repro import save_program
+
+    builder = ClassFileBuilder("Broken")
+    builder.add_method(
+        "main", "()V", [Instruction(Opcode.POP), Instruction(Opcode.RETURN)]
+    )
+    save_program(
+        Program(classes=[builder.build()]), tmp_path / "broken"
+    )
+    assert main(["verify", str(tmp_path / "broken")]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_simulate(stored, capsys):
+    directory, trace = stored
+    assert (
+        main(
+            [
+                "simulate",
+                directory,
+                trace,
+                "--link",
+                "modem",
+                "--cpi",
+                "50",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "normalized:" in out
+    assert "strict total:" in out
+
+
+def test_errors_exit_2(tmp_path, capsys):
+    assert main(["layout", str(tmp_path / "missing")]) == 2
+    assert "error:" in capsys.readouterr().err

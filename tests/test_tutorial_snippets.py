@@ -1,0 +1,111 @@
+"""docs/TUTORIAL.md, executed: every snippet must keep working."""
+
+import pytest
+
+from repro import (
+    MODEM_LINK,
+    compile_source,
+    estimate_first_use,
+    order_from_profile,
+    record_run,
+    restructure,
+    run_nonstrict,
+    save_program,
+    save_trace,
+    strict_baseline,
+)
+from repro.linker import verify_class
+from repro.program import MethodId
+from repro.tools import main as inspect_main
+from repro.vm import VirtualMachine
+
+TUTORIAL_SOURCE = """
+class App {
+    global total = 0;
+
+    func main() {
+        var i = 0;
+        while (i < 40) {
+            App.total = App.total + Math.square(i);
+            i = i + 1;
+        }
+        print(App.total);
+        Report.emit(App.total);
+    }
+}
+class Math {
+    func square(x) { return x * x; }
+    func cube(x) { return x * square(x); }   // never called
+}
+class Report {
+    func emit(v) { print(v); }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    program = compile_source(TUTORIAL_SOURCE)
+    for classfile in program.classes:
+        verify_class(classfile)
+    result, recorder = record_run(program)
+    return program, result, recorder
+
+
+def test_step3_output(pipeline):
+    _, result, _ = pipeline
+    expected = sum(i * i for i in range(40))
+    assert result.output == [expected, expected]
+
+
+def test_step4_orders_agree_and_cube_is_last(pipeline):
+    program, _, recorder = pipeline
+    scg = estimate_first_use(program)
+    profiled = order_from_profile(program, recorder.profile)
+    assert scg.order == profiled.order
+    assert scg.order[-1] == MethodId("Math", "cube")
+    assert scg.order[0] == MethodId("App", "main")
+
+
+def test_step5_restructure_preserves_semantics(pipeline):
+    program, result, _ = pipeline
+    laid_out = restructure(program, estimate_first_use(program))
+    assert VirtualMachine(laid_out).run().output == result.output
+
+
+def test_step6_simulation_cuts_off_cube(pipeline):
+    program, _, recorder = pipeline
+    order = estimate_first_use(program)
+    base = strict_baseline(program, recorder.trace, MODEM_LINK, 80)
+    sim = run_nonstrict(
+        program, recorder.trace, order, MODEM_LINK, 80,
+        method="interleaved",
+    )
+    assert sim.bytes_terminated > 0  # cube never transfers
+    assert 0 < sim.normalized_to(base.total_cycles) < 110
+
+
+def test_step7_persist_and_inspect(pipeline, tmp_path, capsys):
+    program, _, recorder = pipeline
+    laid_out = restructure(program, estimate_first_use(program))
+    directory = save_program(laid_out, tmp_path / "app")
+    trace = save_trace(recorder.trace, tmp_path / "app.trace.json")
+    assert inspect_main(["layout", str(directory)]) == 0
+    assert inspect_main(["disasm", str(directory), "App", "main"]) == 0
+    assert inspect_main(["order", str(directory)]) == 0
+    assert (
+        inspect_main(
+            [
+                "simulate",
+                str(directory),
+                str(trace),
+                "--link",
+                "modem",
+                "--cpi",
+                "80",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "normalized:" in out

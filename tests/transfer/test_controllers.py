@@ -1,0 +1,182 @@
+"""Transfer controllers: strict, interleaved, parallel, schedule."""
+
+import pytest
+
+from repro.errors import TransferError
+from repro.program import MethodId
+from repro.reorder import estimate_first_use, restructure
+from repro.transfer import (
+    InterleavedController,
+    ParallelController,
+    StreamEngine,
+    StrictSequentialController,
+    T1_LINK,
+    TransferPolicy,
+    UnitKind,
+    build_interleaved_file,
+    build_program_plans,
+    build_schedule,
+)
+from repro.workloads import figure1_program
+
+
+@pytest.fixture()
+def restructured():
+    program = figure1_program()
+    order = estimate_first_use(program)
+    return restructure(program, order), order
+
+
+def test_interleaved_file_order(restructured):
+    program, order = restructured
+    plans = build_program_plans(program, TransferPolicy.NON_STRICT)
+    sequence = build_interleaved_file(plans, order)
+    labels = [
+        (unit.kind, unit.class_name, getattr(unit.method, "method_name", None))
+        for unit in sequence
+    ]
+    # Figure 5: A's globals, main, then B's globals, Bar_B, then the
+    # remaining methods interleaved by first use.
+    assert labels[0] == (UnitKind.GLOBAL_DATA, "A", None)
+    assert labels[1] == (UnitKind.METHOD, "A", "main")
+    assert labels[2] == (UnitKind.GLOBAL_DATA, "B", None)
+    assert labels[3] == (UnitKind.METHOD, "B", "Bar_B")
+    assert labels[4] == (UnitKind.METHOD, "A", "Bar_A")
+    assert labels[5] == (UnitKind.METHOD, "A", "Foo_A")
+    assert labels[6] == (UnitKind.METHOD, "B", "Foo_B")
+
+
+def test_interleaved_file_conserves_bytes(restructured):
+    program, order = restructured
+    plans = build_program_plans(program, TransferPolicy.NON_STRICT)
+    sequence = build_interleaved_file(plans, order)
+    assert sum(unit.size for unit in sequence) == sum(
+        plan.total_bytes for plan in plans.values()
+    )
+
+
+def test_interleaved_controller_single_stream(restructured):
+    program, order = restructured
+    controller = InterleavedController(program, order)
+    engine = StreamEngine(T1_LINK)
+    controller.setup(engine)
+    assert len(engine.active) == 1
+    unit = controller.required_unit(MethodId("B", "Bar_B"))
+    assert unit.method == MethodId("B", "Bar_B")
+
+
+def test_strict_controller_requires_whole_class():
+    program = figure1_program()
+    controller = StrictSequentialController(program)
+    unit = controller.required_unit(MethodId("B", "Foo_B"))
+    assert unit.kind == UnitKind.CLASS_FILE
+    assert unit.class_name == "B"
+    engine = StreamEngine(T1_LINK)
+    controller.setup(engine)
+    engine.run_until(1e12)
+    assert engine.idle
+
+
+def test_schedule_dependencies_and_prefixes(restructured):
+    program, order = restructured
+    plans = build_program_plans(program, TransferPolicy.NON_STRICT)
+    schedule = build_schedule(program, plans, order)
+    a = schedule.start_for("A")
+    b = schedule.start_for("B")
+    # The entry class must start immediately and depends on nothing.
+    assert a.start_after_bytes == 0.0
+    assert a.dependency_bytes == 0.0
+    assert a.dependency_classes == ()
+    # B depends on A: its trigger counts bytes delivered from A, and
+    # its required prefix runs through Bar_B (global data + Bar_B).
+    assert b.dependency_classes == ("A",)
+    assert b.dependency_bytes > 0
+    assert b.required_prefix_bytes == plans["B"].prefix_bytes_through(
+        "Bar_B"
+    )
+    with pytest.raises(TransferError):
+        schedule.start_for("Zed")
+
+
+def test_schedule_start_threshold_clamped_at_zero(restructured):
+    program, order = restructured
+    plans = build_program_plans(program, TransferPolicy.NON_STRICT)
+    schedule = build_schedule(program, plans, order)
+    b = schedule.start_for("B")
+    # B's required prefix exceeds main's predicted unique bytes, so it
+    # is released immediately — Figure 4's "B starts before A is done".
+    assert b.start_after_bytes == max(
+        0.0, b.dependency_bytes - b.required_prefix_bytes
+    )
+
+
+def test_schedule_orders_by_threshold(restructured):
+    program, order = restructured
+    plans = build_program_plans(program, TransferPolicy.NON_STRICT)
+    schedule = build_schedule(program, plans, order)
+    starts = schedule.in_start_order()
+    thresholds = [start.start_after_bytes for start in starts]
+    assert thresholds == sorted(thresholds)
+
+
+def test_parallel_controller_releases_scheduled_streams(restructured):
+    program, order = restructured
+    controller = ParallelController(
+        program, order, T1_LINK, cpi=100, max_streams=4
+    )
+    engine = StreamEngine(T1_LINK, max_streams=4)
+    controller.setup(engine)
+    # Both classes have near-zero start times at this CPI.
+    engine.run_until(
+        1e12,
+        wakeup=controller.next_wakeup,
+        on_advance=controller.on_advance,
+    )
+    assert engine.idle
+    assert set(engine.stream_start_times) == {"A", "B"}
+
+
+def test_parallel_demand_fetch_on_stall():
+    from repro.reorder import FirstUseEntry, FirstUseOrder
+
+    program = figure1_program()
+    static = estimate_first_use(program)
+    # Predict B's first use after an enormous byte budget, so its
+    # scheduled start threshold is far in the future.
+    entries = [
+        FirstUseEntry(
+            method=entry.method,
+            bytes_before=0 if entry.method.class_name == "A" else 10**9,
+            instructions_before=entry.instructions_before,
+        )
+        for entry in static.entries
+    ]
+    order = FirstUseOrder(entries=entries, source="static")
+    target = restructure(program, order)
+    controller = ParallelController(
+        target, order, T1_LINK, cpi=100, max_streams=4
+    )
+    engine = StreamEngine(T1_LINK, max_streams=4)
+    controller.setup(engine)
+    # B is scheduled far in the future; a stall on Bar_B must fetch it.
+    assert "B" not in engine.stream_start_times
+    controller.on_stall(engine, MethodId("B", "Bar_B"))
+    assert controller.demand_fetches == [MethodId("B", "Bar_B")]
+    unit = controller.required_unit(MethodId("B", "Bar_B"))
+    arrival = engine.run_until_unit(
+        unit,
+        wakeup=controller.next_wakeup,
+        on_advance=controller.on_advance,
+    )
+    assert arrival > 0
+
+
+def test_parallel_stall_on_active_stream_is_noop(restructured):
+    program, order = restructured
+    controller = ParallelController(
+        program, order, T1_LINK, cpi=100, max_streams=4
+    )
+    engine = StreamEngine(T1_LINK, max_streams=4)
+    controller.setup(engine)
+    controller.on_stall(engine, MethodId("A", "main"))
+    assert controller.demand_fetches == []

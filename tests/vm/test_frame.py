@@ -1,0 +1,83 @@
+"""Frame: locals, stack, and branch-target plumbing."""
+
+import pytest
+
+from repro.bytecode import assemble
+from repro.classfile import MethodInfo
+from repro.errors import StackUnderflowError, VMError
+from repro.program import MethodId
+from repro.vm import Frame
+
+
+def make_frame(source="nop\nreturn", max_locals=4, locals_=None):
+    method = MethodInfo(
+        name="m",
+        descriptor="()V",
+        instructions=assemble(source),
+        max_locals=max_locals,
+    )
+    return Frame(
+        method_id=MethodId("C", "m"),
+        method=method,
+        locals=list(locals_ or []),
+    )
+
+
+def test_locals_prefilled_to_max_locals():
+    frame = make_frame(max_locals=4, locals_=[7])
+    assert frame.locals == [7, 0, 0, 0]
+
+
+def test_push_pop_lifo():
+    frame = make_frame()
+    frame.push(1)
+    frame.push(2)
+    assert frame.pop() == 2
+    assert frame.pop() == 1
+
+
+def test_pop_empty_underflows():
+    with pytest.raises(StackUnderflowError):
+        make_frame().pop()
+
+
+def test_store_extends_within_limit():
+    frame = make_frame(max_locals=2)
+    frame.store(5, 99)
+    assert frame.load(5) == 99
+
+
+def test_load_unallocated_slot_raises():
+    frame = make_frame(max_locals=2)
+    with pytest.raises(VMError):
+        frame.load(3)
+
+
+def test_store_beyond_hard_limit_raises():
+    frame = make_frame()
+    with pytest.raises(VMError):
+        frame.store(256, 1)
+
+
+def test_excessive_max_locals_rejected():
+    method = MethodInfo(
+        name="m", instructions=assemble("return"), max_locals=500
+    )
+    with pytest.raises(VMError):
+        Frame(method_id=MethodId("C", "m"), method=method)
+
+
+def test_jump_to_offset_boundaries():
+    # iconst(5 bytes) then return at offset 5.
+    frame = make_frame("iconst 1\nreturn")
+    frame.jump_to_offset(5)
+    assert frame.pc == 1
+    with pytest.raises(VMError):
+        frame.jump_to_offset(3)  # inside the iconst
+
+
+def test_current_offset_tracks_pc():
+    frame = make_frame("iconst 1\nreturn")
+    assert frame.current_offset == 0
+    frame.pc = 1
+    assert frame.current_offset == 5

@@ -1,0 +1,110 @@
+"""Multi-input profile merging (§4.2's 'adequate sets of inputs')."""
+
+import pytest
+
+from repro.program import MethodId
+from repro.reorder import order_from_profile
+from repro.vm import merge_profiles
+from repro.reorder import profile_program
+from repro.bytecode import assemble
+from repro.classfile import ClassFileBuilder
+from repro.program import Program
+
+
+def branchy_program():
+    """main(flag): flag!=0 -> left() then shared(); else right() then
+    shared()."""
+    builder = ClassFileBuilder("P")
+    left = builder.method_ref("P", "left", "()V")
+    right = builder.method_ref("P", "right", "()V")
+    shared = builder.method_ref("P", "shared", "()V")
+    builder.add_method(
+        "main",
+        "(I)V",
+        assemble(
+            f"""
+            load 0
+            ifeq other
+            call {left}
+            call {shared}
+            return
+        other:
+            call {right}
+            call {shared}
+            return
+            """
+        ),
+    )
+    for name in ("left", "right", "shared"):
+        builder.add_method(name, "()V", assemble("nop\nreturn"))
+    return Program(
+        classes=[builder.build()], entry_point=MethodId("P", "main")
+    )
+
+
+def test_merge_requires_input():
+    with pytest.raises(ValueError):
+        merge_profiles([])
+
+
+def test_single_profile_passthrough():
+    program = branchy_program()
+    profile = profile_program(program, args=(1,))
+    assert merge_profiles([profile]) is profile
+
+
+def test_union_of_methods():
+    program = branchy_program()
+    left_run = profile_program(program, args=(1,))
+    right_run = profile_program(program, args=(0,))
+    merged = merge_profiles([left_run, right_run])
+    names = {m.method_name for m in merged.order}
+    assert names == {"main", "left", "right", "shared"}
+
+
+def test_coverage_sorts_common_methods_first():
+    program = branchy_program()
+    merged = merge_profiles(
+        [
+            profile_program(program, args=(1,)),
+            profile_program(program, args=(0,)),
+        ]
+    )
+    order = merged.order
+    # main and shared ran in both inputs; left/right in one each.
+    assert order.index(MethodId("P", "main")) == 0
+    assert order.index(MethodId("P", "shared")) < order.index(
+        MethodId("P", "left")
+    )
+    assert order.index(MethodId("P", "shared")) < order.index(
+        MethodId("P", "right")
+    )
+
+
+def test_statistics_accumulate():
+    program = branchy_program()
+    a = profile_program(program, args=(1,))
+    b = profile_program(program, args=(0,))
+    merged = merge_profiles([a, b])
+    main = MethodId("P", "main")
+    assert merged.method_stats[main].invocations == 2
+    assert merged.total_instructions == (
+        a.total_instructions + b.total_instructions
+    )
+
+
+def test_merged_counters_are_monotone_and_usable():
+    program = branchy_program()
+    merged = merge_profiles(
+        [
+            profile_program(program, args=(1,)),
+            profile_program(program, args=(0,)),
+        ]
+    )
+    befores = [e.dynamic_instructions_before for e in merged.events]
+    assert befores == sorted(befores)
+    unique = [e.unique_bytes_before for e in merged.events]
+    assert unique == sorted(unique)
+    # Drives reordering without a static fallback needed.
+    order = order_from_profile(program, merged)
+    assert len(order) == program.method_count

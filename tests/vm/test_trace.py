@@ -1,0 +1,128 @@
+"""Trace recording and first-use profiling."""
+
+from repro.program import MethodId
+from repro.vm import (
+    CallCounter,
+    InstructionCounter,
+    TraceRecorder,
+    VirtualMachine,
+    record_run,
+)
+from repro.workloads import (
+    fibonacci_program,
+    figure1_program,
+    mutual_recursion_program,
+)
+
+
+def test_first_use_order_matches_paper_example():
+    _, recorder = record_run(figure1_program())
+    assert recorder.profile.order == [
+        MethodId("A", "main"),
+        MethodId("B", "Bar_B"),
+        MethodId("A", "Bar_A"),
+        MethodId("A", "Foo_A"),
+        MethodId("B", "Foo_B"),
+    ]
+
+
+def test_trace_total_matches_vm_count():
+    result, recorder = record_run(figure1_program())
+    assert (
+        recorder.trace.total_instructions
+        == result.instructions_executed
+    )
+    assert recorder.profile.total_instructions == (
+        result.instructions_executed
+    )
+
+
+def test_trace_first_use_order_consistent_with_profile():
+    _, recorder = record_run(figure1_program())
+    assert recorder.trace.first_use_order() == recorder.profile.order
+
+
+def test_segments_alternate_across_calls():
+    _, recorder = record_run(fibonacci_program(5))
+    methods = [segment.method for segment in recorder.trace.segments]
+    assert methods[0] == MethodId("Fib", "main")
+    assert MethodId("Fib", "fib") in methods
+    # A recursive run must produce many segments, not one per method.
+    assert len(recorder.trace) > 5
+    assert all(
+        segment.instructions > 0 for segment in recorder.trace.segments
+    )
+
+
+def test_first_use_events_are_monotone():
+    _, recorder = record_run(figure1_program())
+    events = recorder.profile.events
+    befores = [event.dynamic_instructions_before for event in events]
+    assert befores == sorted(befores)
+    unique_bytes = [event.unique_bytes_before for event in events]
+    assert unique_bytes == sorted(unique_bytes)
+    assert events[0].dynamic_instructions_before == 0
+    assert events[0].unique_bytes_before == 0
+    assert [event.index for event in events] == list(range(len(events)))
+
+
+def test_unique_bytes_bounded_by_static_size():
+    program = figure1_program()
+    _, recorder = record_run(program)
+    for method_id, stats in recorder.profile.method_stats.items():
+        static_size = sum(
+            instruction.size
+            for instruction in program.method(method_id).instructions
+        )
+        assert 0 < stats.unique_bytes <= static_size
+
+
+def test_invocation_counts():
+    _, recorder = record_run(mutual_recursion_program(6))
+    stats = recorder.profile.method_stats
+    assert stats[MethodId("Even", "main")].invocations == 1
+    total_parity_calls = (
+        stats[MethodId("Even", "is_even")].invocations
+        + stats[MethodId("Odd", "is_odd")].invocations
+    )
+    assert total_parity_calls == 7  # 6 decrements + the base case
+
+
+def test_was_executed_and_event_lookup():
+    _, recorder = record_run(figure1_program())
+    profile = recorder.profile
+    assert profile.was_executed(MethodId("A", "main"))
+    assert not profile.was_executed(MethodId("A", "missing"))
+    event = profile.event_for(MethodId("B", "Bar_B"))
+    assert event is not None
+    assert event.index == 1
+    assert profile.event_for(MethodId("Zz", "zz")) is None
+
+
+def test_instruction_counter_agrees_with_recorder():
+    counter = InstructionCounter()
+    recorder = TraceRecorder()
+    machine = VirtualMachine(
+        figure1_program(), instruments=[counter, recorder]
+    )
+    result = machine.run()
+    assert counter.total == result.instructions_executed
+    assert sum(counter.per_method.values()) == counter.total
+
+
+def test_call_counter_tracks_externals():
+    from repro.bytecode import assemble
+    from repro.classfile import ClassFileBuilder
+    from repro.program import Program
+
+    builder = ClassFileBuilder("X")
+    ref = builder.method_ref("sys/Win", "draw", "()V")
+    builder.add_method(
+        "main", "()V", assemble(f"call {ref}\ncall {ref}\nreturn")
+    )
+    counter = CallCounter()
+    VirtualMachine(
+        Program(classes=[builder.build()]), instruments=[counter]
+    ).run()
+    assert counter.external_calls[MethodId("sys/Win", "draw")] == 2
+    assert counter.invocations[MethodId("X", "main")] == 1

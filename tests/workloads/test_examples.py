@@ -1,0 +1,51 @@
+"""The hand-built example programs."""
+
+from repro.linker import verify_class
+from repro.program import MethodId
+from repro.vm import VirtualMachine
+from repro.workloads import (
+    countdown_program,
+    fibonacci_program,
+    figure1_program,
+    mutual_recursion_program,
+)
+
+
+def test_all_examples_verify():
+    for factory in (
+        figure1_program,
+        countdown_program,
+        fibonacci_program,
+        mutual_recursion_program,
+    ):
+        for classfile in factory().classes:
+            verify_class(classfile)
+
+
+def test_figure1_matches_paper_structure():
+    program = figure1_program()
+    assert program.class_names == ["A", "B"]
+    assert [m.name for m in program.class_named("A").methods] == [
+        "main",
+        "Foo_A",
+        "Bar_A",
+    ]
+    assert [m.name for m in program.class_named("B").methods] == [
+        "Foo_B",
+        "Bar_B",
+    ]
+    assert program.entry_point == MethodId("A", "main")
+
+
+def test_countdown_terminates():
+    result = VirtualMachine(countdown_program(25)).run()
+    assert result.instructions_executed > 25
+
+
+def test_fibonacci_parameterized():
+    assert (
+        VirtualMachine(fibonacci_program(15)).run().global_value(
+            "Fib", "result"
+        )
+        == 610
+    )

@@ -1,0 +1,127 @@
+"""Internal invariants of the synthetic workload generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.spec import benchmark_spec
+from repro.workloads.synthetic import (
+    _build_call_tree,
+    _call_capacity,
+    _choose_used,
+    _distribute,
+    _method_sizes,
+)
+
+
+@given(
+    total=st.integers(0, 100_000),
+    weights=st.lists(
+        st.floats(0.01, 100.0), min_size=1, max_size=50
+    ),
+)
+def test_distribute_conserves_total(total, weights):
+    shares = _distribute(total, weights)
+    assert sum(shares) == total
+    assert len(shares) == len(weights)
+    assert all(share >= 0 for share in shares)
+
+
+def test_distribute_proportionality():
+    shares = _distribute(100, [1.0, 3.0])
+    assert shares == [25, 75]
+
+
+def dfs_order(children):
+    order = []
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for child in reversed(children[node]):
+            stack.append(child)
+    return order
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.integers(2, 300),
+    seed=st.integers(0, 2**31),
+)
+def test_call_tree_dfs_is_index_order(count, seed):
+    """The defining property: the tree's DFS (children in creation
+    order) unfolds as 0, 1, 2, ... — matching the true first-use order."""
+    rng = random.Random(seed)
+    sizes = [max(5, int(rng.lognormvariate(2.3, 0.8))) for _ in range(count)]
+    loops = [rng.random() < 0.7 for _ in range(count)]
+    children = _build_call_tree(rng, count, sizes, loops)
+    assert dfs_order(children) == list(range(count))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    count=st.integers(2, 300),
+    seed=st.integers(0, 2**31),
+)
+def test_call_tree_respects_capacity(count, seed):
+    rng = random.Random(seed)
+    sizes = [max(5, int(rng.lognormvariate(2.3, 0.8))) for _ in range(count)]
+    loops = [rng.random() < 0.7 for _ in range(count)]
+    children = _build_call_tree(rng, count, sizes, loops)
+    for index in range(count):
+        assert len(children[index]) <= _call_capacity(
+            sizes, loops, index
+        )
+    # Every non-entry method has exactly one parent.
+    seen = [child for lst in children for child in lst]
+    assert sorted(seen) == list(range(1, count))
+
+
+def test_call_capacity_matches_emit_budget():
+    sizes = [21, 8, 5]
+    loops = [True, True, False]
+    # Looped 21-instr body: 21 - (2 + 9) = 10 -> 3 calls.
+    assert _call_capacity(sizes, loops, 0) == 3
+    # 8 instrs, loop flag set but below the 20 threshold: (8-2)//3 = 2.
+    assert _call_capacity(sizes, loops, 1) == 2
+    # Minimal body: one call.
+    assert _call_capacity(sizes, loops, 2) == 1
+
+
+def test_method_sizes_hit_totals():
+    rng = random.Random(7)
+    for name in ("Jess", "TestDes"):
+        spec = benchmark_spec(name)
+        sizes = _method_sizes(rng, spec)
+        assert len(sizes) == spec.total_methods
+        assert sum(sizes) == spec.static_instructions
+        assert min(sizes) >= 5
+
+
+def test_choose_used_hits_instruction_target():
+    rng = random.Random(11)
+    spec = benchmark_spec("BIT")
+    sizes = _method_sizes(rng, spec)
+    used = _choose_used(rng, spec, sizes)
+    fraction = (
+        100.0 * sum(sizes[i] for i in used) / sum(sizes)
+    )
+    assert fraction == pytest.approx(
+        spec.percent_static_executed, abs=3
+    )
+    assert 0 in used
+    # At least one method stays cold.
+    assert len(used) < spec.total_methods
+
+
+def test_choose_used_is_front_loaded():
+    rng = random.Random(13)
+    spec = benchmark_spec("Jess")  # 47% executed: a real split
+    sizes = _method_sizes(rng, spec)
+    used = _choose_used(rng, spec, sizes)
+    count = spec.total_methods
+    first_half = sum(1 for i in used if i < count // 2)
+    second_half = len(used) - first_half
+    assert first_half > 2 * second_half

@@ -1,0 +1,103 @@
+"""Benchmark specification integrity."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec import (
+    PAPER_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_spec,
+)
+
+
+def test_six_benchmarks():
+    assert len(PAPER_BENCHMARKS) == 6
+    assert [spec.name for spec in PAPER_BENCHMARKS] == [
+        "BIT",
+        "Hanoi",
+        "JavaCup",
+        "Jess",
+        "JHLZip",
+        "TestDes",
+    ]
+
+
+def test_lookup_by_name():
+    assert benchmark_spec("Jess").total_files == 97
+    with pytest.raises(WorkloadError):
+        benchmark_spec("NotABenchmark")
+
+
+def test_table2_columns_transcribed():
+    bit = benchmark_spec("BIT")
+    assert bit.total_methods == 643
+    assert bit.dynamic_instructions_test == 7_763_000
+    assert bit.cpi == 147
+    des = benchmark_spec("TestDes")
+    assert des.instructions_per_method == pytest.approx(174.5, abs=1)
+
+
+def test_table9_percentages_sum_to_about_100():
+    for spec in PAPER_BENCHMARKS:
+        total = (
+            spec.percent_globals_needed_first
+            + spec.percent_globals_in_methods
+            + spec.percent_globals_unused
+        )
+        assert 95 <= total <= 105
+
+
+def test_wire_scale_reflects_table3():
+    # Table 3's transfer cycles imply more wire bytes than Table 9's
+    # byte columns for every benchmark (the paper's own discrepancy).
+    for spec in PAPER_BENCHMARKS:
+        assert 1.0 <= spec.wire_scale <= 2.6
+
+
+def test_train_smaller_than_test():
+    for spec in PAPER_BENCHMARKS:
+        assert (
+            spec.dynamic_instructions_train
+            <= spec.dynamic_instructions_test
+        )
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(WorkloadError):
+        BenchmarkSpec(
+            name="Bad",
+            description="",
+            kind="application",
+            total_files=0,
+            size_kb=1,
+            dynamic_instructions_test=1,
+            dynamic_instructions_train=1,
+            static_instructions=1,
+            percent_static_executed=50,
+            total_methods=1,
+            cpi=1,
+            local_data_kb=1,
+            global_data_kb=1,
+            percent_globals_needed_first=30,
+            percent_globals_in_methods=60,
+            percent_globals_unused=10,
+        )
+    with pytest.raises(WorkloadError):
+        BenchmarkSpec(
+            name="Bad",
+            description="",
+            kind="application",
+            total_files=1,
+            size_kb=1,
+            dynamic_instructions_test=1,
+            dynamic_instructions_train=1,
+            static_instructions=1,
+            percent_static_executed=50,
+            total_methods=1,
+            cpi=1,
+            local_data_kb=1,
+            global_data_kb=1,
+            percent_globals_needed_first=10,
+            percent_globals_in_methods=10,
+            percent_globals_unused=10,
+        )

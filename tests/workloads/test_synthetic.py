@@ -1,0 +1,163 @@
+"""Synthetic workload calibration and structural validity."""
+
+import pytest
+
+from repro.classfile import class_layout, deserialize, serialize
+from repro.datapart import partition_program
+from repro.linker import verify_class
+from repro.program import MethodId
+from repro.reorder import estimate_first_use
+from repro.workloads.spec import PAPER_BENCHMARKS
+from repro.workloads.synthetic import generate_workload
+
+ALL_NAMES = [spec.name for spec in PAPER_BENCHMARKS]
+SMALL = ["Hanoi", "JHLZip", "TestDes"]  # fast enough for per-test use
+
+
+@pytest.fixture(scope="module", params=ALL_NAMES)
+def workload(request):
+    return generate_workload(request.param)
+
+
+def test_file_and_method_counts_match_spec(workload):
+    spec = workload.spec
+    assert len(workload.program.classes) == spec.total_files
+    assert workload.program.method_count == spec.total_methods
+
+
+def test_static_instructions_match_spec(workload):
+    spec = workload.spec
+    static = sum(
+        len(method.instructions)
+        for _, method in workload.program.methods()
+    )
+    assert static == pytest.approx(spec.static_instructions, rel=0.02)
+
+
+def test_dynamic_instructions_match_spec_exactly(workload):
+    spec = workload.spec
+    assert (
+        workload.test_trace.total_instructions
+        == spec.dynamic_instructions_test
+    )
+    assert (
+        workload.train_trace.total_instructions
+        == spec.dynamic_instructions_train
+    )
+
+
+def test_percent_executed_matches_spec(workload):
+    spec = workload.spec
+    program = workload.program
+    static = sum(
+        len(method.instructions) for _, method in program.methods()
+    )
+    used = workload.test_trace.methods_used()
+    used_static = sum(
+        len(program.method(method).instructions) for method in used
+    )
+    assert 100.0 * used_static / static == pytest.approx(
+        spec.percent_static_executed, abs=3.0
+    )
+
+
+def test_global_split_matches_table9(workload):
+    spec = workload.spec
+    partitions = partition_program(workload.program)
+    first = sum(p.first_bytes for p in partitions.values())
+    methods = sum(p.method_bytes for p in partitions.values())
+    unused = sum(p.unused_bytes for p in partitions.values())
+    total = first + methods + unused
+    assert 100.0 * first / total == pytest.approx(
+        spec.percent_globals_needed_first, abs=6.0
+    )
+    assert 100.0 * methods / total == pytest.approx(
+        spec.percent_globals_in_methods, abs=8.0
+    )
+    assert 100.0 * unused / total == pytest.approx(
+        spec.percent_globals_unused, abs=6.0
+    )
+
+
+def test_wire_bytes_match_table3(workload):
+    spec = workload.spec
+    total = sum(
+        class_layout(classfile).strict_size
+        for classfile in workload.program.classes
+    )
+    implied = spec.transfer_mcycles_t1 * 1e6 / 3815.0
+    assert total == pytest.approx(implied, rel=0.12)
+
+
+def test_generation_is_deterministic():
+    first = generate_workload.__wrapped__("Hanoi", None)
+    second = generate_workload.__wrapped__("Hanoi", None)
+    assert serialize(first.program.classes[0]) == serialize(
+        second.program.classes[0]
+    )
+    assert first.test_trace.segments == second.test_trace.segments
+
+
+def test_different_seed_differs():
+    default = generate_workload.__wrapped__("Hanoi", None)
+    reseeded = generate_workload.__wrapped__("Hanoi", 12345)
+    assert serialize(default.program.classes[0]) != serialize(
+        reseeded.program.classes[0]
+    )
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_generated_classes_verify_and_roundtrip(name):
+    workload = generate_workload(name)
+    for classfile in workload.program.classes:
+        verify_class(classfile)
+        image = serialize(classfile)
+        recovered = deserialize(image)
+        assert serialize(recovered) == image
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_entry_point_is_first_used(name):
+    workload = generate_workload(name)
+    entry = workload.program.resolve_entry()
+    assert workload.test_trace.segments[0].method == entry
+    assert workload.train_trace.segments[0].method == entry
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_trace_methods_exist_in_program(name):
+    workload = generate_workload(name)
+    for trace in (workload.test_trace, workload.train_trace):
+        for method in trace.methods_used():
+            assert workload.program.has_method(method)
+
+
+@pytest.mark.parametrize("name", SMALL)
+def test_static_estimator_handles_generated_program(name):
+    workload = generate_workload(name)
+    order = estimate_first_use(workload.program)
+    order.validate_against(workload.program)
+    assert order.order[0] == workload.program.resolve_entry()
+
+
+def test_first_uses_cluster_at_startup(workload):
+    """The startup-burst model: last first use lands within a small
+    fraction of total execution (spec.first_use_span plus slack)."""
+    trace = workload.test_trace
+    seen = set()
+    executed = 0
+    last_first_use = 0
+    for segment in trace.segments:
+        if segment.method not in seen:
+            seen.add(segment.method)
+            last_first_use = executed
+        executed += segment.instructions
+    fraction = last_first_use / trace.total_instructions
+    assert fraction <= workload.spec.first_use_span + 0.08
+
+
+def test_train_mostly_subset_of_test(workload):
+    train_used = workload.train_trace.methods_used()
+    test_used = workload.test_trace.methods_used()
+    overlap = len(train_used & test_used) / len(train_used)
+    assert overlap > 0.9
