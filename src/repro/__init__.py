@@ -24,6 +24,8 @@ Quickstart::
 """
 
 from .core import (
+    InvocationLatencyReport,
+    MethodInvocationLatency,
     SimulationResult,
     Simulator,
     StallEvent,
@@ -36,6 +38,13 @@ from .core import (
 )
 from .errors import ReproError
 from .lang import compile_source
+from .netserve import (
+    ClassFileServer,
+    NetworkRunResult,
+    NonStrictFetcher,
+    fetch_and_run,
+    run_networked,
+)
 from .program import MethodId, Program
 from .storage import (
     load_profile,
@@ -84,6 +93,13 @@ from .workloads.synthetic import SyntheticWorkload, generate_workload
 __version__ = "1.0.0"
 
 __all__ = [
+    "InvocationLatencyReport",
+    "MethodInvocationLatency",
+    "ClassFileServer",
+    "NetworkRunResult",
+    "NonStrictFetcher",
+    "fetch_and_run",
+    "run_networked",
     "SimulationResult",
     "Simulator",
     "StallEvent",

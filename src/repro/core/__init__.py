@@ -2,6 +2,8 @@
 
 from .jit import JitModel, JitResult, simulate_jit_overlap, strict_jit_total
 from .metrics import (
+    InvocationLatencyReport,
+    MethodInvocationLatency,
     StrictBaseline,
     invocation_latency_cycles,
     program_wire_bytes,
@@ -15,6 +17,8 @@ __all__ = [
     "JitResult",
     "simulate_jit_overlap",
     "strict_jit_total",
+    "InvocationLatencyReport",
+    "MethodInvocationLatency",
     "StrictBaseline",
     "invocation_latency_cycles",
     "program_wire_bytes",

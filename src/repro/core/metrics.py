@@ -14,8 +14,8 @@ Reproduces the paper's accounting conventions exactly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..classfile import class_layout
 from ..errors import SimulationError
@@ -31,6 +31,8 @@ __all__ = [
     "StrictBaseline",
     "strict_baseline",
     "invocation_latency_cycles",
+    "MethodInvocationLatency",
+    "InvocationLatencyReport",
 ]
 
 
@@ -78,6 +80,69 @@ def strict_baseline(
         transfer_cycles=transfer,
         total_cycles=execution + transfer,
     )
+
+
+@dataclass(frozen=True)
+class MethodInvocationLatency:
+    """Latency of one method's *first* invocation.
+
+    Attributes:
+        method: The method.
+        latency: Time from session start until the method could begin
+            executing, in the report's unit.
+        demand_fetched: True when a first-use misprediction forced a
+            demand fetch before this method could run.
+    """
+
+    method: MethodId
+    latency: float
+    demand_fetched: bool = False
+
+
+@dataclass
+class InvocationLatencyReport:
+    """Per-method first-invocation latencies for one run.
+
+    Both the cycle-exact simulator and the real network bridge populate
+    this structure; ``unit`` says which clock was used (``"cycles"`` or
+    ``"seconds"``), so the two can be printed side by side.
+    """
+
+    unit: str = "cycles"
+    entries: List[MethodInvocationLatency] = field(default_factory=list)
+
+    def record(
+        self,
+        method: MethodId,
+        latency: float,
+        demand_fetched: bool = False,
+    ) -> None:
+        if any(entry.method == method for entry in self.entries):
+            raise SimulationError(
+                f"duplicate first-invocation latency for {method}"
+            )
+        self.entries.append(
+            MethodInvocationLatency(
+                method=method,
+                latency=latency,
+                demand_fetched=demand_fetched,
+            )
+        )
+
+    def latency_for(self, method: MethodId) -> float:
+        for entry in self.entries:
+            if entry.method == method:
+                return entry.latency
+        raise SimulationError(f"no latency recorded for {method}")
+
+    def methods(self) -> List[MethodId]:
+        return [entry.method for entry in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, method: MethodId) -> bool:
+        return any(entry.method == method for entry in self.entries)
 
 
 def invocation_latency_cycles(

@@ -56,6 +56,22 @@ class TransferError(ReproError):
     """Invalid transfer plan, schedule, or stream engine state."""
 
 
+class ProtocolError(TransferError):
+    """The netserve wire protocol was violated by a peer."""
+
+
+class FrameCorruptionError(ProtocolError):
+    """A frame failed validation: bad magic, bad CRC, malformed body."""
+
+
+class TruncatedFrameError(ProtocolError):
+    """A frame ended before its declared length (more bytes needed)."""
+
+
+class ConnectionLostError(TransferError):
+    """The peer disappeared mid-stream (reset, abort, or silent close)."""
+
+
 class SimulationError(ReproError):
     """Co-simulation reached an inconsistent state (e.g. deadlock)."""
 

@@ -1,0 +1,71 @@
+"""netserve: a real asyncio class-file server and non-strict fetcher.
+
+The simulator (:mod:`repro.core`) models transfer in CPU cycles; this
+package moves the same :class:`~repro.transfer.TransferUnit` streams
+over real TCP sockets, with bandwidth pacing and §5.1 demand-fetch
+priority, so the model can be validated against wall-clock transfers.
+"""
+
+from .bridge import NetworkRunResult, fetch_and_run, run_networked
+from .client import NonStrictFetcher
+from .payloads import (
+    DELIMITER_FILLER,
+    build_class_payloads,
+    build_program_payloads,
+    fit_payload,
+)
+from .protocol import (
+    FRAME_OVERHEAD,
+    MAGIC,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameKind,
+    decode_frame,
+    demand_fetch_frame,
+    encode_frame,
+    eof_frame,
+    error_frame,
+    hello_ack_frame,
+    hello_frame,
+    read_frame,
+    unit_frame,
+)
+from .server import REORDER_STRATEGIES, ClassFileServer, TokenBucket
+from .stats import (
+    ConnectionStats,
+    FetchStats,
+    ServerStats,
+    format_fetch_stats,
+)
+
+__all__ = [
+    "NetworkRunResult",
+    "fetch_and_run",
+    "run_networked",
+    "NonStrictFetcher",
+    "DELIMITER_FILLER",
+    "build_class_payloads",
+    "build_program_payloads",
+    "fit_payload",
+    "FRAME_OVERHEAD",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "Frame",
+    "FrameKind",
+    "decode_frame",
+    "demand_fetch_frame",
+    "encode_frame",
+    "eof_frame",
+    "error_frame",
+    "hello_ack_frame",
+    "hello_frame",
+    "read_frame",
+    "unit_frame",
+    "REORDER_STRATEGIES",
+    "ClassFileServer",
+    "TokenBucket",
+    "ConnectionStats",
+    "FetchStats",
+    "ServerStats",
+    "format_fetch_stats",
+]

@@ -1,0 +1,161 @@
+"""Bridge: run the non-strict execution model against *real* arrivals.
+
+:func:`run_networked` is the wall-clock twin of
+:meth:`repro.core.simulation.Simulator.run`: it replays the same
+:class:`~repro.vm.ExecutionTrace` the cycle-exact simulator consumes,
+but gates each trace segment on a :class:`NonStrictFetcher`'s real
+socket arrivals instead of simulated unit-arrival times.  Execution
+cost uses the same model (instructions × CPI, converted to seconds at
+the paper's CPU clock), and transfer genuinely overlaps it — the
+receive loop keeps draining the socket while the "CPU" sleeps through
+its compute time.
+
+Measured per-method first-invocation latencies land in the existing
+:class:`repro.core.metrics.InvocationLatencyReport` structure (unit
+``"seconds"``), so measured and simulated numbers print side by side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.metrics import InvocationLatencyReport
+from ..core.simulation import StallEvent
+from ..transfer import CPU_HZ
+from ..vm import ExecutionTrace
+from .client import NonStrictFetcher
+from .stats import FetchStats
+
+__all__ = ["NetworkRunResult", "run_networked", "fetch_and_run"]
+
+
+@dataclass
+class NetworkRunResult:
+    """Outcome of one networked non-strict run (all times in seconds).
+
+    Attributes:
+        wall_seconds: Invocation-to-completion wall time.
+        execution_seconds: Modeled compute time (instructions × CPI at
+            the configured clock).
+        stall_seconds: Wall time execution spent waiting on arrivals.
+        invocation_latency: Seconds until the first instruction ran.
+        latencies: Measured per-method first-invocation latencies.
+        stalls: Every stall, in order (seconds, session-relative).
+        demand_fetches: Mispredict corrections issued.
+        bytes_received: Wire bytes received by session end.
+    """
+
+    wall_seconds: float
+    execution_seconds: float
+    stall_seconds: float
+    invocation_latency: float
+    latencies: InvocationLatencyReport
+    stalls: List[StallEvent] = field(default_factory=list)
+    demand_fetches: int = 0
+    bytes_received: int = 0
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+
+async def run_networked(
+    fetcher: NonStrictFetcher,
+    trace: ExecutionTrace,
+    cpi: float,
+    cpu_hz: float = float(CPU_HZ),
+) -> NetworkRunResult:
+    """Replay ``trace`` against the fetcher's real arrivals.
+
+    Args:
+        fetcher: A connected :class:`NonStrictFetcher`.
+        trace: The execution trace to replay (same object the
+            simulator consumes).
+        cpi: Average cycles per bytecode instruction.
+        cpu_hz: Clock used to convert compute cycles to wall seconds.
+            The paper's 500 MHz Alpha by default; lower it to stretch
+            compute phases and make overlap visible in a demo.
+
+    Returns:
+        A :class:`NetworkRunResult` with measured latencies for every
+        method the trace invoked.
+    """
+    seconds_per_instruction = cpi / cpu_hz
+    latencies = InvocationLatencyReport(unit="seconds")
+    stalls: List[StallEvent] = []
+    stall_seconds = 0.0
+    invocation_latency: Optional[float] = None
+    started = time.monotonic()
+
+    for segment in trace.segments:
+        demanded = False
+        if not fetcher.is_method_available(segment.method):
+            stall_start = time.monotonic() - started
+            await fetcher.wait_for_method(segment.method)
+            demanded = fetcher.was_demand_fetched(segment.method)
+            duration = (time.monotonic() - started) - stall_start
+            stalls.append(
+                StallEvent(
+                    method=segment.method,
+                    start=stall_start,
+                    duration=duration,
+                )
+            )
+            stall_seconds += duration
+        if segment.method not in latencies:
+            latencies.record(
+                segment.method,
+                fetcher.elapsed(),
+                demand_fetched=demanded,
+            )
+            if invocation_latency is None:
+                invocation_latency = fetcher.elapsed()
+        # Compute phase: transfer keeps flowing while we "execute".
+        await asyncio.sleep(
+            segment.instructions * seconds_per_instruction
+        )
+
+    wall = time.monotonic() - started
+    return NetworkRunResult(
+        wall_seconds=wall,
+        execution_seconds=(
+            trace.total_instructions * seconds_per_instruction
+        ),
+        stall_seconds=stall_seconds,
+        invocation_latency=invocation_latency or 0.0,
+        latencies=latencies,
+        stalls=stalls,
+        demand_fetches=fetcher.stats.demand_fetches,
+        bytes_received=fetcher.stats.bytes_received,
+    )
+
+
+async def fetch_and_run(
+    host: str,
+    port: int,
+    trace: ExecutionTrace,
+    cpi: float,
+    policy: str = "non_strict",
+    strategy: str = "static",
+    cpu_hz: float = float(CPU_HZ),
+    demand_timeout: float = 5.0,
+) -> "tuple[NetworkRunResult, FetchStats]":
+    """Connect, replay a trace, close; the one-call convenience path."""
+    fetcher = NonStrictFetcher(
+        host,
+        port,
+        policy=policy,
+        strategy=strategy,
+        demand_timeout=demand_timeout,
+    )
+    await fetcher.connect()
+    try:
+        result = await run_networked(
+            fetcher, trace, cpi, cpu_hz=cpu_hz
+        )
+    finally:
+        await fetcher.aclose()
+    return result, fetcher.stats

@@ -1,0 +1,294 @@
+"""The non-strict fetch client.
+
+:class:`NonStrictFetcher` connects to a
+:class:`~repro.netserve.server.ClassFileServer`, negotiates a policy,
+and receives transfer units into per-class arrival buffers.  It exposes
+the same "is this method available / wait until it is" interface the
+simulator's runtime uses, and on a first-use misprediction it issues a
+``DEMAND_FETCH`` (with timeout and bounded retry) so the server
+promotes the missing class to the front of its send queue.
+
+Robustness rule: a connection lost mid-stream must surface as a typed
+:class:`~repro.errors.ConnectionLostError` from every waiter — never a
+hang.  The receive loop records the failure and wakes all waiting
+events; waiters re-check the failure before trusting their event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ConnectionLostError, ProtocolError, TransferError
+from ..program import MethodId
+from ..transfer import TransferUnit, UnitKind
+from .protocol import (
+    FrameKind,
+    demand_fetch_frame,
+    encode_frame,
+    hello_frame,
+    read_frame,
+)
+from .stats import FetchStats
+
+__all__ = ["NonStrictFetcher"]
+
+
+class NonStrictFetcher:
+    """Receives a unit stream and answers method-availability queries.
+
+    Args:
+        host, port: Server address.
+        policy: ``"strict"``, ``"non_strict"``, or
+            ``"data_partitioned"``.
+        strategy: Reorder strategy to request (``"static"``,
+            ``"textual"``, ``"profile"``).
+        demand_timeout: Seconds to wait for a demanded unit before
+            retrying the ``DEMAND_FETCH``.
+        demand_retries: Demand attempts before giving up with a
+            :class:`~repro.errors.TransferError`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: str = "non_strict",
+        strategy: str = "static",
+        demand_timeout: float = 5.0,
+        demand_retries: int = 3,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy
+        self.strategy = strategy
+        self.demand_timeout = demand_timeout
+        self.demand_retries = demand_retries
+        self.stats = FetchStats(policy=policy, strategy=strategy)
+        self.manifest: Dict = {}
+        #: Units in arrival order, with arrival seconds since connect.
+        self.unit_log: List[Tuple[TransferUnit, float]] = []
+        #: Per-class arrival buffers: (unit, payload) in arrival order.
+        self.buffers: Dict[str, List[Tuple[TransferUnit, bytes]]] = {}
+        self._method_arrivals: Dict[MethodId, float] = {}
+        self._classes_complete: Set[str] = set()
+        self._demanded: Set[MethodId] = set()
+        self._events: Dict[MethodId, asyncio.Event] = {}
+        self._eof = asyncio.Event()
+        self._failure: Optional[BaseException] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._receiver: Optional[asyncio.Task] = None
+        self._t0 = 0.0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def connect(self) -> Dict:
+        """Open the connection and negotiate; returns the manifest."""
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as error:
+            raise ConnectionLostError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        self._writer.write(
+            encode_frame(hello_frame(self.policy, self.strategy))
+        )
+        await self._writer.drain()
+        ack = await read_frame(self._reader)
+        if ack.kind == FrameKind.ERROR:
+            raise ProtocolError(
+                f"server rejected session: "
+                f"{ack.field_dict.get('message')}"
+            )
+        if ack.kind != FrameKind.HELLO_ACK:
+            raise ProtocolError(
+                f"expected HELLO_ACK, got {ack.kind.name}"
+            )
+        self.manifest = ack.field_dict
+        self.stats.strategy = self.manifest.get(
+            "strategy", self.strategy
+        )
+        self._t0 = time.monotonic()
+        self._receiver = asyncio.create_task(self._receive_loop())
+        return self.manifest
+
+    def elapsed(self) -> float:
+        """Seconds since the session started."""
+        return time.monotonic() - self._t0
+
+    async def aclose(self) -> None:
+        if self._receiver is not None:
+            self._receiver.cancel()
+            try:
+                await self._receiver
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+
+    # -- receive path -----------------------------------------------------
+
+    def _event_for(self, method_id: MethodId) -> asyncio.Event:
+        event = self._events.get(method_id)
+        if event is None:
+            event = asyncio.Event()
+            self._events[method_id] = event
+        return event
+
+    def _fail(self, error: BaseException) -> None:
+        if self._failure is None:
+            self._failure = error
+        self._eof.set()
+        for event in self._events.values():
+            event.set()
+
+    def _record_unit(self, unit: TransferUnit, payload: bytes) -> None:
+        now = self.elapsed()
+        self.unit_log.append((unit, now))
+        self.buffers.setdefault(unit.class_name, []).append(
+            (unit, payload)
+        )
+        if unit.kind == UnitKind.METHOD and unit.method is not None:
+            self._method_arrivals.setdefault(unit.method, now)
+            self._event_for(unit.method).set()
+        elif unit.kind == UnitKind.CLASS_FILE:
+            # Strict: the whole class arrived; every method it holds is
+            # now available, including ones nobody asked about yet.
+            self._classes_complete.add(unit.class_name)
+            for method_id, event in self._events.items():
+                if method_id.class_name == unit.class_name:
+                    self._method_arrivals.setdefault(method_id, now)
+                    event.set()
+
+    async def _receive_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                self.stats.frames_received += 1
+                self.stats.bytes_received += frame.wire_size
+                if frame.kind == FrameKind.UNIT:
+                    assert frame.unit is not None
+                    self.stats.units_received += 1
+                    self.stats.payload_bytes += len(frame.payload)
+                    self._record_unit(frame.unit, frame.payload)
+                elif frame.kind == FrameKind.EOF:
+                    self._eof.set()
+                    return
+                elif frame.kind == FrameKind.ERROR:
+                    raise ProtocolError(
+                        f"server error: "
+                        f"{frame.field_dict.get('message')}"
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unexpected {frame.kind.name} frame mid-stream"
+                    )
+        except TransferError as error:
+            self._fail(error)
+        except asyncio.CancelledError:
+            self._fail(ConnectionLostError("fetcher closed"))
+            raise
+
+    # -- availability interface -------------------------------------------
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+    def is_method_available(self, method_id: MethodId) -> bool:
+        """True once the method's required unit has arrived."""
+        return (
+            method_id in self._method_arrivals
+            or method_id.class_name in self._classes_complete
+        )
+
+    def arrival_time(self, method_id: MethodId) -> float:
+        """Seconds after connect at which the method became available."""
+        try:
+            return self._method_arrivals[method_id]
+        except KeyError as exc:
+            raise TransferError(
+                f"method has not arrived: {method_id}"
+            ) from exc
+
+    def was_demand_fetched(self, method_id: MethodId) -> bool:
+        return method_id in self._demanded
+
+    async def wait_for_method(
+        self, method_id: MethodId, demand: bool = True
+    ) -> float:
+        """Block until ``method_id`` may execute; returns arrival time.
+
+        A miss with ``demand=True`` is a first-use misprediction: a
+        ``DEMAND_FETCH`` goes to the server (bounded retries), exactly
+        the §5.1 correction.  With ``demand=False`` the wait is
+        passive.
+
+        Raises:
+            ConnectionLostError: If the connection died while waiting.
+            TransferError: If every demand retry timed out.
+        """
+        self._check_failure()
+        if self.is_method_available(method_id):
+            return self.arrival_time(method_id)
+        waited_from = self.elapsed()
+        event = self._event_for(method_id)
+        if not demand:
+            await event.wait()
+            self._check_failure()
+        else:
+            await self._demand(method_id, event)
+        self.stats.record_stall(
+            method_id, self.elapsed() - waited_from
+        )
+        return self.arrival_time(method_id)
+
+    async def _demand(
+        self, method_id: MethodId, event: asyncio.Event
+    ) -> None:
+        assert self._writer is not None
+        self._demanded.add(method_id)
+        for attempt in range(self.demand_retries):
+            self._writer.write(
+                encode_frame(
+                    demand_fetch_frame(
+                        method_id.class_name, method_id.method_name
+                    )
+                )
+            )
+            await self._writer.drain()
+            self.stats.demand_fetches += 1
+            try:
+                await asyncio.wait_for(
+                    event.wait(), timeout=self.demand_timeout
+                )
+            except asyncio.TimeoutError:
+                continue
+            self._check_failure()
+            if self.is_method_available(method_id):
+                return
+        self._check_failure()
+        raise TransferError(
+            f"demand fetch for {method_id} timed out after "
+            f"{self.demand_retries} attempts of "
+            f"{self.demand_timeout:.1f}s"
+        )
+
+    async def wait_until_complete(self) -> None:
+        """Block until the server's EOF (or a typed failure)."""
+        await self._eof.wait()
+        self._check_failure()
+
+    # -- reassembly -------------------------------------------------------
+
+    def class_bytes(self, class_name: str) -> bytes:
+        """Concatenated payload bytes received for one class so far."""
+        return b"".join(
+            payload
+            for _, payload in self.buffers.get(class_name, [])
+        )

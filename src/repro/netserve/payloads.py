@@ -1,0 +1,79 @@
+"""Concrete payload bytes for each transfer unit.
+
+The simulator only needs unit *sizes*; the network server needs actual
+*bytes*.  Payloads come from the canonical wire image
+(:func:`repro.classfile.serializer.serialize`): the global unit carries
+the image's global prefix, each method unit carries its method's slice.
+Overhead bytes the transfer model adds on top of the canonical image —
+method delimiters, GMD framing — are materialized as a repeating filler
+pattern so every payload is exactly ``unit.size`` bytes and the bytes
+on the wire equal the bytes the simulator charges for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..classfile import class_layout, serialize
+from ..program import Program
+from ..transfer import ClassTransferPlan, TransferUnit, UnitKind
+
+__all__ = [
+    "DELIMITER_FILLER",
+    "fit_payload",
+    "build_class_payloads",
+    "build_program_payloads",
+]
+
+#: Filler pattern for delimiter/GMD overhead bytes (and the visible
+#: method delimiter itself).
+DELIMITER_FILLER = b"\xfa\xce\xc0\xde"
+
+
+def fit_payload(data: bytes, size: int) -> bytes:
+    """Pad (with the filler pattern) or truncate ``data`` to ``size``."""
+    if len(data) >= size:
+        return data[:size]
+    missing = size - len(data)
+    repeats = missing // len(DELIMITER_FILLER) + 1
+    return data + (DELIMITER_FILLER * repeats)[:missing]
+
+
+def build_class_payloads(
+    classfile, plan: ClassTransferPlan
+) -> Dict[TransferUnit, bytes]:
+    """Payload bytes for every unit of one class's plan."""
+    image = serialize(classfile)
+    layout = class_layout(classfile)
+    global_image = image[: layout.global_size]
+    method_slices: Dict[str, bytes] = {}
+    offset = layout.global_size
+    for method_name, method_size in layout.method_sizes:
+        method_slices[method_name] = image[offset : offset + method_size]
+        offset += method_size
+
+    payloads: Dict[TransferUnit, bytes] = {}
+    for unit in plan.units:
+        if unit.kind == UnitKind.CLASS_FILE:
+            data = image
+        elif unit.kind in (UnitKind.GLOBAL_DATA, UnitKind.GLOBAL_FIRST):
+            data = global_image
+        elif unit.kind == UnitKind.METHOD:
+            assert unit.method is not None  # guaranteed by TransferUnit
+            data = method_slices[unit.method.method_name]
+        else:  # GLOBAL_UNUSED: the trailing end of the global section
+            data = global_image[-unit.size :] if unit.size else b""
+        payloads[unit] = fit_payload(data, unit.size)
+    return payloads
+
+
+def build_program_payloads(
+    program: Program, plans: Dict[str, ClassTransferPlan]
+) -> Dict[TransferUnit, bytes]:
+    """Payloads for every unit of every class plan of a program."""
+    payloads: Dict[TransferUnit, bytes] = {}
+    for classfile in program.classes:
+        plan = plans.get(classfile.name)
+        if plan is not None:
+            payloads.update(build_class_payloads(classfile, plan))
+    return payloads

@@ -1,0 +1,380 @@
+"""Length-prefixed binary wire protocol for transfer units.
+
+Every message is a *frame*::
+
+    u16  magic   (0x524E, "RN")
+    u8   version (1)
+    u8   kind    (FrameKind)
+    u32  body length
+    ...  body
+    u32  CRC32 of the body
+
+Control frames (``HELLO``, ``HELLO_ACK``, ``DEMAND_FETCH``, ``ERROR``)
+carry a UTF-8 JSON object as their body; ``EOF`` has an empty body.  A
+``UNIT`` frame carries one :class:`~repro.transfer.TransferUnit` plus
+its payload bytes::
+
+    u8   unit kind (UnitKind code)
+    u16  class-name length, then UTF-8 class name
+    u16  method-name length (0 = none), then UTF-8 method name
+    u32  declared unit size
+    ...  payload (exactly the declared size)
+
+Corruption is detected, never silently tolerated: a bad magic, version,
+kind, CRC, or inconsistent body raises
+:class:`~repro.errors.FrameCorruptionError`; an incomplete buffer
+raises :class:`~repro.errors.TruncatedFrameError` so stream readers
+know to wait for more bytes; a vanished peer surfaces as
+:class:`~repro.errors.ConnectionLostError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import (
+    ConnectionLostError,
+    FrameCorruptionError,
+    TransferError,
+    TruncatedFrameError,
+)
+from ..program import MethodId
+from ..transfer import TransferUnit, UnitKind
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "FRAME_OVERHEAD",
+    "MAX_BODY_BYTES",
+    "FrameKind",
+    "Frame",
+    "hello_frame",
+    "hello_ack_frame",
+    "unit_frame",
+    "demand_fetch_frame",
+    "error_frame",
+    "eof_frame",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+]
+
+MAGIC = 0x524E  # "RN"
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">HBBI")
+_CRC = struct.Struct(">I")
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+#: Fixed per-frame framing bytes (header + CRC trailer).
+FRAME_OVERHEAD = _HEADER.size + _CRC.size
+
+#: Upper bound on a frame body — no legitimate unit is anywhere near
+#: this, so larger declared lengths are treated as corruption rather
+#: than honored with a giant allocation.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class FrameKind(enum.IntEnum):
+    """What a frame carries."""
+
+    HELLO = 1  # client -> server: policy/strategy negotiation
+    HELLO_ACK = 2  # server -> client: accepted config + manifest
+    UNIT = 3  # server -> client: one transfer unit
+    DEMAND_FETCH = 4  # client -> server: mispredict correction
+    ERROR = 5  # either direction: fatal, typed message
+    EOF = 6  # server -> client: stream complete
+
+
+_UNIT_KIND_CODES: Dict[UnitKind, int] = {
+    UnitKind.CLASS_FILE: 1,
+    UnitKind.GLOBAL_DATA: 2,
+    UnitKind.GLOBAL_FIRST: 3,
+    UnitKind.METHOD: 4,
+    UnitKind.GLOBAL_UNUSED: 5,
+}
+_UNIT_KINDS_BY_CODE = {code: kind for kind, code in _UNIT_KIND_CODES.items()}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame.
+
+    Attributes:
+        kind: The frame kind.
+        fields: JSON fields, for control frames.
+        unit: The transfer unit, for ``UNIT`` frames.
+        payload: The unit's payload bytes, for ``UNIT`` frames.
+        wire_size: Encoded size in bytes (set by the decoder; not part
+            of frame identity).
+    """
+
+    kind: FrameKind
+    fields: Tuple[Tuple[str, Any], ...] = ()
+    unit: Optional[TransferUnit] = None
+    payload: bytes = b""
+    wire_size: int = field(default=0, compare=False)
+
+    @property
+    def field_dict(self) -> Dict[str, Any]:
+        return dict(self.fields)
+
+
+def _json_frame(kind: FrameKind, fields: Dict[str, Any]) -> Frame:
+    return Frame(kind=kind, fields=tuple(sorted(fields.items())))
+
+
+def hello_frame(
+    policy: str, strategy: str = "static", **extra: Any
+) -> Frame:
+    """Client hello: requested transfer policy and reorder strategy."""
+    return _json_frame(
+        FrameKind.HELLO,
+        {"policy": policy, "strategy": strategy, **extra},
+    )
+
+
+def hello_ack_frame(**fields: Any) -> Frame:
+    """Server acknowledgement: accepted config plus stream manifest."""
+    return _json_frame(FrameKind.HELLO_ACK, fields)
+
+
+def unit_frame(unit: TransferUnit, payload: bytes) -> Frame:
+    """A transfer unit and its payload (padded to the unit's size)."""
+    if len(payload) != unit.size:
+        raise TransferError(
+            f"payload is {len(payload)} bytes but unit declares "
+            f"{unit.size}: {unit}"
+        )
+    return Frame(kind=FrameKind.UNIT, unit=unit, payload=payload)
+
+
+def demand_fetch_frame(
+    class_name: str, method_name: Optional[str] = None
+) -> Frame:
+    """Client mispredict correction: prioritize this class/method."""
+    return _json_frame(
+        FrameKind.DEMAND_FETCH,
+        {"class": class_name, "method": method_name},
+    )
+
+
+def error_frame(message: str) -> Frame:
+    return _json_frame(FrameKind.ERROR, {"message": message})
+
+
+def eof_frame() -> Frame:
+    return Frame(kind=FrameKind.EOF)
+
+
+# --- encoding ----------------------------------------------------------
+
+
+def _encode_body(frame: Frame) -> bytes:
+    if frame.kind == FrameKind.UNIT:
+        unit = frame.unit
+        if unit is None:
+            raise TransferError("UNIT frame without a unit")
+        class_bytes = unit.class_name.encode("utf-8")
+        method_bytes = (
+            unit.method.method_name.encode("utf-8")
+            if unit.method is not None
+            else b""
+        )
+        return b"".join(
+            (
+                _U8.pack(_UNIT_KIND_CODES[unit.kind]),
+                _U16.pack(len(class_bytes)),
+                class_bytes,
+                _U16.pack(len(method_bytes)),
+                method_bytes,
+                _U32.pack(unit.size),
+                frame.payload,
+            )
+        )
+    if frame.kind == FrameKind.EOF:
+        return b""
+    return json.dumps(frame.field_dict, sort_keys=True).encode("utf-8")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to wire bytes."""
+    body = _encode_body(frame)
+    return b"".join(
+        (
+            _HEADER.pack(
+                MAGIC, PROTOCOL_VERSION, int(frame.kind), len(body)
+            ),
+            body,
+            _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF),
+        )
+    )
+
+
+# --- decoding ----------------------------------------------------------
+
+
+def _decode_unit_body(body: bytes, wire_size: int) -> Frame:
+    try:
+        offset = 0
+        (kind_code,) = _U8.unpack_from(body, offset)
+        offset += _U8.size
+        (class_len,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        if offset + class_len > len(body):
+            raise FrameCorruptionError("class name overruns body")
+        class_name = body[offset : offset + class_len].decode("utf-8")
+        offset += class_len
+        (method_len,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        if offset + method_len > len(body):
+            raise FrameCorruptionError("method name overruns body")
+        method_name = (
+            body[offset : offset + method_len].decode("utf-8")
+            if method_len
+            else None
+        )
+        offset += method_len
+        (declared_size,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise FrameCorruptionError(
+            f"malformed UNIT body: {exc}"
+        ) from exc
+    payload = body[offset:]
+    if len(payload) != declared_size:
+        raise FrameCorruptionError(
+            f"UNIT payload is {len(payload)} bytes, declared "
+            f"{declared_size}"
+        )
+    unit_kind = _UNIT_KINDS_BY_CODE.get(kind_code)
+    if unit_kind is None:
+        raise FrameCorruptionError(f"unknown unit kind code {kind_code}")
+    try:
+        unit = TransferUnit(
+            kind=unit_kind,
+            class_name=class_name,
+            size=declared_size,
+            method=(
+                MethodId(class_name, method_name)
+                if method_name is not None
+                else None
+            ),
+        )
+    except TransferError as exc:
+        raise FrameCorruptionError(f"inconsistent unit: {exc}") from exc
+    return Frame(
+        kind=FrameKind.UNIT,
+        unit=unit,
+        payload=payload,
+        wire_size=wire_size,
+    )
+
+
+def _decode_validated(
+    kind_code: int, body: bytes, wire_size: int
+) -> Frame:
+    try:
+        kind = FrameKind(kind_code)
+    except ValueError as exc:
+        raise FrameCorruptionError(
+            f"unknown frame kind {kind_code}"
+        ) from exc
+    if kind == FrameKind.UNIT:
+        return _decode_unit_body(body, wire_size)
+    if kind == FrameKind.EOF:
+        if body:
+            raise FrameCorruptionError("EOF frame with a body")
+        return Frame(kind=kind, wire_size=wire_size)
+    try:
+        fields = json.loads(body.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FrameCorruptionError(
+            f"control frame body is not JSON: {exc}"
+        ) from exc
+    if not isinstance(fields, dict):
+        raise FrameCorruptionError("control frame body is not an object")
+    return Frame(
+        kind=kind,
+        fields=tuple(sorted(fields.items())),
+        wire_size=wire_size,
+    )
+
+
+def decode_frame(data: bytes, offset: int = 0) -> Tuple[Frame, int]:
+    """Decode one frame from ``data`` starting at ``offset``.
+
+    Returns:
+        The frame and the offset just past it.
+
+    Raises:
+        TruncatedFrameError: If the buffer ends mid-frame.
+        FrameCorruptionError: If the frame is malformed.
+    """
+    if len(data) - offset < _HEADER.size:
+        raise TruncatedFrameError(
+            f"need {_HEADER.size} header bytes, have {len(data) - offset}"
+        )
+    magic, version, kind_code, body_len = _HEADER.unpack_from(
+        data, offset
+    )
+    if magic != MAGIC:
+        raise FrameCorruptionError(f"bad magic 0x{magic:04x}")
+    if version != PROTOCOL_VERSION:
+        raise FrameCorruptionError(f"unsupported protocol v{version}")
+    if body_len > MAX_BODY_BYTES:
+        raise FrameCorruptionError(
+            f"declared body of {body_len} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+    end = offset + _HEADER.size + body_len + _CRC.size
+    if len(data) < end:
+        raise TruncatedFrameError(
+            f"need {end - offset} bytes, have {len(data) - offset}"
+        )
+    body = data[offset + _HEADER.size : end - _CRC.size]
+    (expected_crc,) = _CRC.unpack_from(data, end - _CRC.size)
+    actual_crc = zlib.crc32(body) & 0xFFFFFFFF
+    if actual_crc != expected_crc:
+        raise FrameCorruptionError(
+            f"CRC mismatch: computed 0x{actual_crc:08x}, frame says "
+            f"0x{expected_crc:08x}"
+        )
+    return _decode_validated(kind_code, body, end - offset), end
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read exactly one frame from an asyncio stream.
+
+    Raises:
+        ConnectionLostError: If the peer closed or reset mid-frame (or
+            before a frame started).
+        FrameCorruptionError: If the frame fails validation.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        magic, version, kind_code, body_len = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise FrameCorruptionError(f"bad magic 0x{magic:04x}")
+        if body_len > MAX_BODY_BYTES:
+            raise FrameCorruptionError(
+                f"declared body of {body_len} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        rest = await reader.readexactly(body_len + _CRC.size)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionLostError(
+            "connection closed mid-frame"
+        ) from exc
+    except (ConnectionError, OSError) as exc:
+        raise ConnectionLostError(f"connection lost: {exc}") from exc
+    frame, _ = decode_frame(header + rest)
+    return frame

@@ -1,0 +1,377 @@
+"""The asyncio class-file server.
+
+:class:`ClassFileServer` holds one :class:`~repro.program.Program` and
+serves it to many concurrent clients.  Each connection negotiates a
+transfer policy (strict / non-strict / data-partitioned) and a reorder
+strategy via ``HELLO``; the server restructures the program, builds the
+per-class transfer plans, and streams the unit sequence over the
+socket.
+
+Two behaviours mirror the paper's transfer fabric (§5.1/§5.2):
+
+* **Bandwidth pacing** — an optional token bucket caps the send rate in
+  bytes/second, so a T1- or modem-shaped link is reproducible on
+  localhost and overlap effects are observable in wall-clock time.
+* **Demand-fetch priority** — a ``DEMAND_FETCH`` from the client (a
+  first-use misprediction) promotes the demanded class's still-pending
+  units, as a block and in order, to the *front* of the send queue —
+  the same front-of-queue rule :meth:`repro.transfer.StreamEngine`
+  applies to demand-fetched streams.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ConnectionLostError, ProtocolError, ReproError
+from ..program import Program
+from ..reorder import (
+    FirstUseOrder,
+    estimate_first_use,
+    order_from_profile,
+    restructure,
+    textual_first_use,
+)
+from ..transfer import (
+    ClassTransferPlan,
+    TransferPolicy,
+    TransferUnit,
+    build_interleaved_file,
+    build_program_plans,
+)
+from ..vm import FirstUseProfile
+from .payloads import build_program_payloads
+from .protocol import (
+    Frame,
+    FrameKind,
+    encode_frame,
+    eof_frame,
+    error_frame,
+    hello_ack_frame,
+    read_frame,
+    unit_frame,
+)
+from .stats import ConnectionStats, ServerStats
+
+__all__ = ["TokenBucket", "ClassFileServer", "REORDER_STRATEGIES"]
+
+#: Reorder strategies a client may request in its ``HELLO``.
+REORDER_STRATEGIES = ("static", "textual", "profile")
+
+
+class TokenBucket:
+    """Paces sends to ``rate`` bytes/second with a bounded burst.
+
+    The bucket may run a deficit: a frame larger than the burst is sent
+    whole, and subsequent sends wait until the deficit refills — so the
+    long-run rate converges to ``rate`` regardless of frame sizes.
+    """
+
+    def __init__(self, rate: float, burst: float = 256.0) -> None:
+        if rate <= 0:
+            raise ProtocolError(f"pacing rate must be positive: {rate}")
+        self.rate = float(rate)
+        self.burst = max(float(burst), 1.0)
+        self._tokens = self.burst
+        self._last = time.monotonic()
+
+    def _refill(self) -> None:
+        now = time.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    async def consume(self, amount: float) -> None:
+        """Take ``amount`` tokens, sleeping until the rate allows it."""
+        self._refill()
+        self._tokens -= amount
+        if self._tokens < 0:
+            await asyncio.sleep(-self._tokens / self.rate)
+            self._refill()
+
+
+class ClassFileServer:
+    """Serves a program's transfer-unit streams over TCP.
+
+    Args:
+        program: The program to serve (original layout; restructured
+            per-connection according to the negotiated strategy).
+        host: Bind address.
+        port: Bind port (0 = ephemeral; read :attr:`address` after
+            :meth:`start`).
+        bandwidth: Optional pacing cap in *bytes per second* (frame
+            overhead counts against it, like real link framing).
+        burst: Token-bucket burst size in bytes.
+        profile: Optional training profile backing the ``profile``
+            reorder strategy; without one the server falls back to
+            ``static`` and says so in the ``HELLO_ACK``.
+        once: Stop accepting after the first connection finishes
+            (handy for demos and CLI pipelines).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bandwidth: Optional[float] = None,
+        burst: float = 256.0,
+        profile: Optional[FirstUseProfile] = None,
+        once: bool = False,
+    ) -> None:
+        self.program = program
+        self.host = host
+        self.port = port
+        self.bandwidth = bandwidth
+        self.burst = burst
+        self.profile = profile
+        self.once = once
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: List[asyncio.StreamWriter] = []
+        self._finished = asyncio.Event()
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None or not self._server.sockets:
+            raise ProtocolError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_until_done(self) -> None:
+        """Serve until closed (or, with ``once``, one connection ends)."""
+        if self._server is None:
+            await self.start()
+        if self.once:
+            await self._finished.wait()
+        else:
+            assert self._server is not None
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting and drop every live connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._finished.set()
+
+    # -- per-connection negotiation ---------------------------------------
+
+    def _order_for(self, strategy: str) -> Tuple[FirstUseOrder, str]:
+        """Resolve a requested strategy to an order (with fallback)."""
+        if strategy == "textual":
+            return textual_first_use(self.program), "textual"
+        if strategy == "profile":
+            if self.profile is not None:
+                return (
+                    order_from_profile(self.program, self.profile),
+                    "profile",
+                )
+            strategy = "static"  # honest fallback, reported in the ack
+        if strategy != "static":
+            raise ProtocolError(
+                f"unknown reorder strategy {strategy!r}; pick from "
+                f"{REORDER_STRATEGIES}"
+            )
+        return estimate_first_use(self.program), "static"
+
+    def _plan_session(
+        self, policy: TransferPolicy, strategy: str
+    ) -> Tuple[List[TransferUnit], Dict[TransferUnit, bytes], str]:
+        order, actual_strategy = self._order_for(strategy)
+        if policy == TransferPolicy.STRICT:
+            # Whole files, in class-first-use order: the strict
+            # methodology still benefits from sending the entry class
+            # first, and the comparison stays apples-to-apples.
+            target = restructure(self.program, order)
+            plans = build_program_plans(target, policy)
+            sequence = [
+                unit
+                for classfile in target.classes
+                for unit in plans[classfile.name].units
+            ]
+        else:
+            target = restructure(self.program, order)
+            plans = build_program_plans(target, policy)
+            sequence = build_interleaved_file(plans, order)
+        payloads = build_program_payloads(target, plans)
+        return sequence, payloads, actual_strategy
+
+    @staticmethod
+    def _manifest(sequence: List[TransferUnit]) -> List[List]:
+        return [
+            [
+                unit.kind.value,
+                unit.class_name,
+                unit.method.method_name if unit.method else None,
+                unit.size,
+            ]
+            for unit in sequence
+        ]
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = ConnectionStats(
+            peer=str(writer.get_extra_info("peername")),
+            started_at=time.monotonic(),
+        )
+        self.stats.connections.append(conn)
+        self._writers.append(writer)
+        demand_task: Optional[asyncio.Task] = None
+        try:
+            try:
+                sequence, payloads, _ = await self._negotiate(
+                    reader, writer, conn
+                )
+            except ConnectionLostError:
+                conn.aborted = True
+                return
+            except ReproError as error:
+                writer.write(encode_frame(error_frame(str(error))))
+                await writer.drain()
+                conn.aborted = True
+                return
+            pending: Deque[TransferUnit] = deque(sequence)
+            demand_task = asyncio.create_task(
+                self._demand_loop(reader, pending, conn)
+            )
+            await self._send_units(writer, pending, payloads, conn)
+        except (ConnectionLostError, ConnectionError, OSError):
+            conn.aborted = True
+        except asyncio.CancelledError:
+            # Server shutdown mid-send: end the handler quietly (the
+            # asyncio.streams callback would log a re-raise as noise).
+            conn.aborted = True
+        finally:
+            if demand_task is not None:
+                demand_task.cancel()
+            conn.finished_at = time.monotonic()
+            writer.close()
+            if writer in self._writers:
+                self._writers.remove(writer)
+            if self.once:
+                self._finished.set()
+
+    async def _negotiate(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        conn: ConnectionStats,
+    ) -> Tuple[List[TransferUnit], Dict[TransferUnit, bytes], str]:
+        hello = await read_frame(reader)
+        if hello.kind != FrameKind.HELLO:
+            raise ProtocolError(
+                f"expected HELLO, got {hello.kind.name}"
+            )
+        fields = hello.field_dict
+        try:
+            policy = TransferPolicy(fields.get("policy", "non_strict"))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"unknown policy {fields.get('policy')!r}"
+            ) from exc
+        strategy = fields.get("strategy", "static")
+        sequence, payloads, actual_strategy = self._plan_session(
+            policy, strategy
+        )
+        conn.policy = policy.value
+        conn.strategy = actual_strategy
+        entry = self.program.entry_point
+        ack = hello_ack_frame(
+            policy=policy.value,
+            strategy=actual_strategy,
+            unit_count=len(sequence),
+            total_bytes=sum(unit.size for unit in sequence),
+            bandwidth=self.bandwidth,
+            entry=(
+                [entry.class_name, entry.method_name] if entry else None
+            ),
+            sequence=self._manifest(sequence),
+        )
+        writer.write(encode_frame(ack))
+        await writer.drain()
+        return sequence, payloads, policy.value
+
+    async def _send_units(
+        self,
+        writer: asyncio.StreamWriter,
+        pending: Deque[TransferUnit],
+        payloads: Dict[TransferUnit, bytes],
+        conn: ConnectionStats,
+    ) -> None:
+        bucket = (
+            TokenBucket(self.bandwidth, burst=self.burst)
+            if self.bandwidth is not None
+            else None
+        )
+        while pending:
+            unit = pending.popleft()
+            data = encode_frame(unit_frame(unit, payloads[unit]))
+            if bucket is not None:
+                await bucket.consume(len(data))
+            writer.write(data)
+            await writer.drain()
+            conn.units_sent += 1
+            conn.frames_sent += 1
+            conn.bytes_sent += len(data)
+        eof = encode_frame(eof_frame())
+        writer.write(eof)
+        await writer.drain()
+        conn.frames_sent += 1
+        conn.bytes_sent += len(eof)
+
+    async def _demand_loop(
+        self,
+        reader: asyncio.StreamReader,
+        pending: Deque[TransferUnit],
+        conn: ConnectionStats,
+    ) -> None:
+        """Serve DEMAND_FETCH frames by promoting pending units.
+
+        Runs concurrently with the sender; the deque rearrangement is
+        synchronous (no await between read and write of ``pending``),
+        so the single-threaded event loop makes it atomic.
+        """
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except ReproError:
+                return  # peer gone or talking garbage; sender notices
+            if frame.kind != FrameKind.DEMAND_FETCH:
+                continue  # tolerate chatty clients; units keep flowing
+            demanded = frame.field_dict.get("class")
+            conn.demand_fetches += 1
+            promoted = [
+                unit
+                for unit in pending
+                if unit.class_name == demanded
+            ]
+            if not promoted:
+                continue  # already sent (or unknown): nothing to jump
+            remaining = [
+                unit
+                for unit in pending
+                if unit.class_name != demanded
+            ]
+            pending.clear()
+            pending.extend(promoted)
+            pending.extend(remaining)
+            conn.promoted_units += len(promoted)

@@ -1,0 +1,104 @@
+"""Wall-clock counters for the real server and fetcher.
+
+Unlike :mod:`repro.core.metrics`, which accounts in simulated CPU
+cycles, these structures count what actually happened on the wire:
+bytes sent/received (frame overhead included), demand fetches, and the
+wall-clock seconds execution spent stalled per method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..program import MethodId
+
+__all__ = [
+    "ConnectionStats",
+    "ServerStats",
+    "FetchStats",
+    "format_fetch_stats",
+]
+
+
+@dataclass
+class ConnectionStats:
+    """One client connection, as seen by the server."""
+
+    peer: str = ""
+    policy: str = ""
+    strategy: str = ""
+    frames_sent: int = 0
+    units_sent: int = 0
+    bytes_sent: int = 0
+    demand_fetches: int = 0
+    promoted_units: int = 0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    aborted: bool = False
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class ServerStats:
+    """All connections a server has handled."""
+
+    connections: List[ConnectionStats] = field(default_factory=list)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(conn.bytes_sent for conn in self.connections)
+
+    @property
+    def units_sent(self) -> int:
+        return sum(conn.units_sent for conn in self.connections)
+
+    @property
+    def demand_fetches(self) -> int:
+        return sum(conn.demand_fetches for conn in self.connections)
+
+
+@dataclass
+class FetchStats:
+    """One fetch session, as seen by the client."""
+
+    policy: str = ""
+    strategy: str = ""
+    frames_received: int = 0
+    units_received: int = 0
+    bytes_received: int = 0  # wire bytes, frame overhead included
+    payload_bytes: int = 0
+    demand_fetches: int = 0
+    stall_seconds: Dict[MethodId, float] = field(default_factory=dict)
+
+    @property
+    def total_stall_seconds(self) -> float:
+        return sum(self.stall_seconds.values())
+
+    def record_stall(self, method: MethodId, seconds: float) -> None:
+        self.stall_seconds[method] = (
+            self.stall_seconds.get(method, 0.0) + seconds
+        )
+
+
+def format_fetch_stats(stats: FetchStats) -> str:
+    """Human-readable multi-line summary for the CLI."""
+    lines = [
+        f"policy:            {stats.policy}",
+        f"strategy:          {stats.strategy}",
+        f"units received:    {stats.units_received}",
+        f"bytes on wire:     {stats.bytes_received:,}",
+        f"payload bytes:     {stats.payload_bytes:,}",
+        f"demand fetches:    {stats.demand_fetches}",
+        f"stall time total:  {stats.total_stall_seconds * 1e3:.1f} ms",
+    ]
+    for method, seconds in sorted(
+        stats.stall_seconds.items(), key=lambda item: -item[1]
+    ):
+        lines.append(f"  stall {method}: {seconds * 1e3:.1f} ms")
+    return "\n".join(lines)

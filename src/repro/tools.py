@@ -9,13 +9,18 @@ Subcommands (all operate on a program directory written by
 * ``order DIR`` — the static first-use order;
 * ``verify DIR`` — run the full verifier over every class;
 * ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
-  stored trace against strict and non-strict transfer.
+  stored trace against strict and non-strict transfer;
+* ``serve DIR --port N --bandwidth B`` — serve the program's transfer
+  units over real TCP (see :mod:`repro.netserve`);
+* ``fetch HOST PORT [TRACE]`` — fetch a served program non-strictly
+  and, with a trace, replay it against the real arrivals.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .classfile import class_layout
@@ -134,6 +139,96 @@ def _cmd_simulate(arguments) -> int:
     return 0
 
 
+def _cmd_serve(arguments) -> int:
+    import asyncio
+
+    from .netserve import ClassFileServer
+
+    program = load_program(arguments.directory)
+
+    async def run_server() -> None:
+        server = ClassFileServer(
+            program,
+            host=arguments.host,
+            port=arguments.port,
+            bandwidth=arguments.bandwidth,
+            burst=arguments.burst,
+            once=arguments.once,
+        )
+        host, port = await server.start()
+        print(f"serving {arguments.directory} on {host}:{port}")
+        if arguments.port_file:
+            Path(arguments.port_file).write_text(str(port))
+        try:
+            await server.serve_until_done()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+        for conn in server.stats.connections:
+            print(
+                f"{conn.peer}: policy={conn.policy} "
+                f"units={conn.units_sent} bytes={conn.bytes_sent} "
+                f"demand_fetches={conn.demand_fetches}"
+            )
+
+    try:
+        asyncio.run(run_server())
+    except KeyboardInterrupt:
+        print("interrupted")
+    return 0
+
+
+def _cmd_fetch(arguments) -> int:
+    import asyncio
+
+    from .netserve import (
+        NonStrictFetcher,
+        format_fetch_stats,
+        run_networked,
+    )
+
+    trace = (
+        load_trace(arguments.trace) if arguments.trace else None
+    )
+
+    async def run_fetch() -> None:
+        fetcher = NonStrictFetcher(
+            arguments.host,
+            arguments.port,
+            policy=arguments.policy,
+            strategy=arguments.strategy,
+            demand_timeout=arguments.timeout,
+        )
+        await fetcher.connect()
+        try:
+            if trace is not None:
+                result = await run_networked(
+                    fetcher, trace, arguments.cpi
+                )
+                print(
+                    f"wall time:         "
+                    f"{result.wall_seconds * 1e3:.1f} ms"
+                )
+                print(
+                    f"invocation latency: "
+                    f"{result.invocation_latency * 1e3:.1f} ms"
+                )
+                for entry in result.latencies.entries:
+                    marker = " (demand)" if entry.demand_fetched else ""
+                    print(
+                        f"  {entry.method}: "
+                        f"{entry.latency * 1e3:.1f} ms{marker}"
+                    )
+            await fetcher.wait_until_complete()
+        finally:
+            await fetcher.aclose()
+        print(format_fetch_stats(fetcher.stats))
+
+    asyncio.run(run_fetch())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-inspect",
@@ -185,6 +280,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     simulate.add_argument("--streams", type=int, default=None)
     simulate.add_argument("--partition", action="store_true")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    serve = commands.add_parser(
+        "serve", help="serve transfer units over TCP"
+    )
+    serve.add_argument("directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        help="pacing cap in bytes/second (default: unpaced)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=256.0,
+        help="token-bucket burst size in bytes",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first connection finishes",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file (for scripting)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    fetch = commands.add_parser(
+        "fetch", help="fetch a served program over TCP"
+    )
+    fetch.add_argument("host")
+    fetch.add_argument("port", type=int)
+    fetch.add_argument("trace", nargs="?", default=None)
+    fetch.add_argument(
+        "--policy",
+        choices=("strict", "non_strict", "data_partitioned"),
+        default="non_strict",
+    )
+    fetch.add_argument(
+        "--strategy",
+        choices=("static", "textual", "profile"),
+        default="static",
+    )
+    fetch.add_argument("--cpi", type=float, default=100.0)
+    fetch.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="demand-fetch timeout in seconds",
+    )
+    fetch.set_defaults(handler=_cmd_fetch)
 
     arguments = parser.parse_args(argv)
     try:

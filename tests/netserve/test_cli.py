@@ -1,0 +1,100 @@
+"""The serve/fetch CLI subcommands, driven like a shell user would."""
+
+import threading
+import time
+
+import pytest
+
+from repro import figure1_program, record_run, save_program, save_trace
+from repro.tools import main
+
+
+@pytest.fixture()
+def stored(tmp_path):
+    program = figure1_program()
+    directory = save_program(program, tmp_path / "prog")
+    _, recorder = record_run(program)
+    trace = save_trace(recorder.trace, tmp_path / "trace.json")
+    return str(directory), str(trace)
+
+
+def _serve_once(directory, port_file, results):
+    results.append(
+        main(
+            [
+                "serve",
+                directory,
+                "--once",
+                "--port-file",
+                port_file,
+                "--bandwidth",
+                "50000",
+            ]
+        )
+    )
+
+
+def _wait_for_port(port_file, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(port_file) as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except FileNotFoundError:
+            pass
+        time.sleep(0.02)
+    raise AssertionError("server never wrote its port file")
+
+
+def test_serve_and_fetch_round_trip(stored, tmp_path, capsys):
+    directory, trace = stored
+    port_file = str(tmp_path / "port")
+    results = []
+    thread = threading.Thread(
+        target=_serve_once, args=(directory, port_file, results)
+    )
+    thread.start()
+    try:
+        port = _wait_for_port(port_file)
+        code = main(
+            [
+                "fetch",
+                "127.0.0.1",
+                str(port),
+                trace,
+                "--cpi",
+                "50",
+            ]
+        )
+    finally:
+        thread.join(timeout=20)
+    assert code == 0
+    assert not thread.is_alive()
+    assert results == [0]
+    out = capsys.readouterr().out
+    assert "invocation latency:" in out
+    assert "units received:" in out
+    assert "A.main" in out
+
+
+def test_fetch_without_trace_prints_stats(stored, tmp_path, capsys):
+    directory, _ = stored
+    port_file = str(tmp_path / "port")
+    results = []
+    thread = threading.Thread(
+        target=_serve_once, args=(directory, port_file, results)
+    )
+    thread.start()
+    try:
+        port = _wait_for_port(port_file)
+        code = main(
+            ["fetch", "127.0.0.1", str(port), "--policy", "strict"]
+        )
+    finally:
+        thread.join(timeout=20)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "policy:            strict" in out
+    assert "bytes on wire:" in out

@@ -1,0 +1,74 @@
+"""Unit payloads: exact sizes, real bytes from the wire image."""
+
+import pytest
+
+from repro.classfile import class_layout, serialize
+from repro.netserve import (
+    build_class_payloads,
+    build_program_payloads,
+    fit_payload,
+)
+from repro.transfer import (
+    TransferPolicy,
+    UnitKind,
+    build_class_plan,
+    build_program_plans,
+)
+from repro.workloads import figure1_program
+
+
+@pytest.mark.parametrize("policy", list(TransferPolicy))
+def test_payload_length_equals_unit_size(policy):
+    program = figure1_program()
+    plans = build_program_plans(program, policy)
+    payloads = build_program_payloads(program, plans)
+    all_units = [u for plan in plans.values() for u in plan.units]
+    assert set(payloads) == set(all_units)
+    for unit in all_units:
+        assert len(payloads[unit]) == unit.size
+
+
+def test_global_payload_is_the_image_prefix():
+    program = figure1_program()
+    classfile = program.classes[0]
+    plan = build_class_plan(classfile, TransferPolicy.NON_STRICT)
+    payloads = build_class_payloads(classfile, plan)
+    image = serialize(classfile)
+    layout = class_layout(classfile)
+    global_unit = plan.units[0]
+    assert global_unit.kind == UnitKind.GLOBAL_DATA
+    assert payloads[global_unit] == image[: layout.global_size]
+
+
+def test_method_payload_is_the_method_slice_plus_delimiter():
+    program = figure1_program()
+    classfile = program.classes[0]
+    plan = build_class_plan(classfile, TransferPolicy.NON_STRICT)
+    payloads = build_class_payloads(classfile, plan)
+    image = serialize(classfile)
+    layout = class_layout(classfile)
+    offset = layout.global_size
+    for method_name, method_size in layout.method_sizes:
+        unit = plan.method_unit(method_name)
+        payload = payloads[unit]
+        assert payload[:method_size] == image[offset : offset + method_size]
+        # The trailing delimiter is filler overhead, not image bytes.
+        assert len(payload) - method_size == unit.size - method_size
+        offset += method_size
+
+
+def test_strict_payload_is_the_whole_image():
+    program = figure1_program()
+    classfile = program.classes[0]
+    plan = build_class_plan(classfile, TransferPolicy.STRICT)
+    payloads = build_class_payloads(classfile, plan)
+    assert payloads[plan.units[0]] == serialize(classfile)
+
+
+def test_fit_payload_pads_and_truncates():
+    assert fit_payload(b"abc", 3) == b"abc"
+    assert fit_payload(b"abcdef", 3) == b"abc"
+    padded = fit_payload(b"ab", 9)
+    assert len(padded) == 9
+    assert padded.startswith(b"ab")
+    assert fit_payload(b"", 0) == b""

@@ -1,0 +1,206 @@
+"""Wire protocol: round trips, corruption detection, truncation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FrameCorruptionError,
+    ProtocolError,
+    TransferError,
+    TruncatedFrameError,
+)
+from repro.netserve import (
+    FRAME_OVERHEAD,
+    Frame,
+    FrameKind,
+    decode_frame,
+    demand_fetch_frame,
+    encode_frame,
+    eof_frame,
+    error_frame,
+    hello_ack_frame,
+    hello_frame,
+    unit_frame,
+)
+from repro.program import MethodId
+from repro.transfer import TransferUnit, UnitKind
+
+
+# -- strategies ---------------------------------------------------------
+
+_names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), max_codepoint=0x2FFF
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@st.composite
+def transfer_units_with_payload(draw):
+    kind = draw(st.sampled_from(list(UnitKind)))
+    class_name = draw(_names)
+    payload = draw(st.binary(min_size=0, max_size=300))
+    method = (
+        MethodId(class_name, draw(_names))
+        if kind == UnitKind.METHOD
+        else None
+    )
+    unit = TransferUnit(
+        kind=kind,
+        class_name=class_name,
+        size=len(payload),
+        method=method,
+    )
+    return unit, payload
+
+
+# -- round trips --------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(transfer_units_with_payload())
+def test_every_unit_kind_round_trips(unit_and_payload):
+    unit, payload = unit_and_payload
+    encoded = encode_frame(unit_frame(unit, payload))
+    decoded, consumed = decode_frame(encoded)
+    assert consumed == len(encoded)
+    assert decoded.kind == FrameKind.UNIT
+    assert decoded.unit == unit
+    assert decoded.payload == payload
+    assert decoded.wire_size == len(encoded)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    policy=st.sampled_from(
+        ["strict", "non_strict", "data_partitioned"]
+    ),
+    strategy=st.sampled_from(["static", "textual", "profile"]),
+)
+def test_hello_round_trips(policy, strategy):
+    encoded = encode_frame(hello_frame(policy, strategy))
+    decoded, _ = decode_frame(encoded)
+    assert decoded.kind == FrameKind.HELLO
+    assert decoded.field_dict["policy"] == policy
+    assert decoded.field_dict["strategy"] == strategy
+
+
+@settings(max_examples=50, deadline=None)
+@given(class_name=_names, method_name=st.none() | _names)
+def test_demand_fetch_round_trips(class_name, method_name):
+    encoded = encode_frame(
+        demand_fetch_frame(class_name, method_name)
+    )
+    decoded, _ = decode_frame(encoded)
+    assert decoded.kind == FrameKind.DEMAND_FETCH
+    assert decoded.field_dict["class"] == class_name
+    assert decoded.field_dict["method"] == method_name
+
+
+def test_control_frames_round_trip():
+    for frame in (
+        hello_ack_frame(unit_count=7, total_bytes=941, entry=None),
+        error_frame("boom"),
+        eof_frame(),
+    ):
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded.kind == frame.kind
+        assert decoded.field_dict == frame.field_dict
+
+
+def test_concatenated_frames_decode_sequentially():
+    unit = TransferUnit(
+        kind=UnitKind.GLOBAL_DATA, class_name="A", size=4
+    )
+    data = (
+        encode_frame(hello_frame("non_strict"))
+        + encode_frame(unit_frame(unit, b"abcd"))
+        + encode_frame(eof_frame())
+    )
+    kinds = []
+    offset = 0
+    while offset < len(data):
+        frame, offset = decode_frame(data, offset)
+        kinds.append(frame.kind)
+    assert kinds == [FrameKind.HELLO, FrameKind.UNIT, FrameKind.EOF]
+
+
+# -- corruption ---------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    transfer_units_with_payload(),
+    st.data(),
+)
+def test_corrupted_body_raises_typed_error(unit_and_payload, data):
+    """Flipping any body byte must raise, never return garbage."""
+    unit, payload = unit_and_payload
+    encoded = bytearray(encode_frame(unit_frame(unit, payload)))
+    header_size = FRAME_OVERHEAD - 4  # header only, CRC excluded
+    body_len = len(encoded) - FRAME_OVERHEAD
+    if body_len == 0:
+        return  # nothing to corrupt
+    index = header_size + data.draw(
+        st.integers(min_value=0, max_value=body_len - 1)
+    )
+    encoded[index] ^= 0xFF
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(encoded))
+
+
+@settings(max_examples=100, deadline=None)
+@given(transfer_units_with_payload(), st.data())
+def test_truncated_frame_raises_truncation_error(
+    unit_and_payload, data
+):
+    unit, payload = unit_and_payload
+    encoded = encode_frame(unit_frame(unit, payload))
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(encoded) - 1)
+    )
+    with pytest.raises(TruncatedFrameError):
+        decode_frame(encoded[:cut])
+
+
+def test_bad_magic_raises():
+    encoded = bytearray(encode_frame(eof_frame()))
+    encoded[0] ^= 0xFF
+    with pytest.raises(FrameCorruptionError):
+        decode_frame(bytes(encoded))
+
+
+def test_bad_crc_raises():
+    encoded = bytearray(encode_frame(error_frame("x")))
+    encoded[-1] ^= 0xFF
+    with pytest.raises(FrameCorruptionError):
+        decode_frame(bytes(encoded))
+
+
+def test_oversized_declared_body_is_corruption_not_allocation():
+    import struct
+
+    from repro.netserve.protocol import MAGIC, PROTOCOL_VERSION
+
+    header = struct.pack(
+        ">HBBI", MAGIC, PROTOCOL_VERSION, int(FrameKind.UNIT), 2**31
+    )
+    with pytest.raises(FrameCorruptionError):
+        decode_frame(header + b"\x00" * 64)
+
+
+def test_payload_size_mismatch_rejected_at_encode():
+    unit = TransferUnit(
+        kind=UnitKind.GLOBAL_DATA, class_name="A", size=10
+    )
+    with pytest.raises(TransferError):
+        unit_frame(unit, b"short")
+
+
+def test_error_hierarchy_is_typed():
+    assert issubclass(FrameCorruptionError, ProtocolError)
+    assert issubclass(TruncatedFrameError, ProtocolError)
+    assert issubclass(ProtocolError, TransferError)

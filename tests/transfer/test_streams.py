@@ -75,6 +75,36 @@ def test_front_request_jumps_queue():
     assert engine.arrival_time(b) == pytest.approx(300)
 
 
+def test_demand_fetch_mid_run_jumps_whole_waiting_queue():
+    """§5.1 regression: a demand-fetched stream admitted *while a
+    queue already exists* starts ahead of every earlier-queued stream,
+    not merely ahead of later arrivals."""
+    engine = StreamEngine(LINK, max_streams=1)
+    engine.request_stream("active", [unit("active", 100)])
+    b = unit("b", 100)
+    c = unit("c", 100)
+    engine.request_stream("b", [b])
+    engine.request_stream("c", [c])
+    demanded = unit("d", 50)
+    fired = []
+
+    def wakeup(e):
+        return None if fired else 40.0
+
+    def on_advance(e):
+        if not fired and e.time >= 40.0:
+            fired.append(True)
+            e.request_stream("d", [demanded], front=True)
+
+    engine.run_until(1000, wakeup=wakeup, on_advance=on_advance)
+    # The active stream is never preempted: it finishes at t=100.
+    # The demand fetch then gets the slot before b and c.
+    assert engine.stream_start_times["d"] == pytest.approx(100)
+    assert engine.arrival_time(demanded) == pytest.approx(150)
+    assert engine.arrival_time(b) == pytest.approx(250)
+    assert engine.arrival_time(c) == pytest.approx(350)
+
+
 def test_promote_moves_waiting_stream_forward():
     engine = StreamEngine(LINK, max_streams=1)
     engine.request_stream("a", [unit("a", 100)])
