@@ -22,7 +22,7 @@ pending compilations (in arrival order), then by idle waiting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import SimulationError
 from ..program import MethodId, Program

@@ -20,7 +20,7 @@ This is the façade most users want::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import SimulationError
 from ..program import Program
@@ -34,6 +34,9 @@ from ..transfer import (
 )
 from ..vm import ExecutionTrace
 from .simulation import SimulationResult, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["run_nonstrict", "run_strict"]
 
@@ -50,6 +53,7 @@ def run_nonstrict(
     max_streams: Optional[int] = None,
     data_partitioning: bool = False,
     restructure: bool = True,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> SimulationResult:
     """Simulate non-strict execution of one configuration.
 
@@ -67,6 +71,8 @@ def run_nonstrict(
         data_partitioning: Split global data into GMDs (§7.3).
         restructure: Reorder methods/classes into first-use order
             first (the paper always does; disable only for ablation).
+        recorder: Optional :class:`repro.observe.TraceRecorder`
+            collecting the run's event stream on the cycle clock.
 
     Returns:
         The :class:`~repro.core.simulation.SimulationResult`.
@@ -91,7 +97,9 @@ def run_nonstrict(
         controller = InterleavedController(
             target, order, data_partitioning=data_partitioning
         )
-    simulator = Simulator(target, trace, controller, link, cpi)
+    simulator = Simulator(
+        target, trace, controller, link, cpi, recorder=recorder
+    )
     return simulator.run()
 
 
@@ -100,6 +108,7 @@ def run_strict(
     trace: ExecutionTrace,
     link: NetworkLink,
     cpi: float,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> SimulationResult:
     """Simulate the strict base case (sequential whole-file transfer).
 
@@ -110,5 +119,7 @@ def run_strict(
     execution actually does — useful for ablations.
     """
     controller = StrictSequentialController(program)
-    simulator = Simulator(program, trace, controller, link, cpi)
+    simulator = Simulator(
+        program, trace, controller, link, cpi, recorder=recorder
+    )
     return simulator.run()

@@ -21,14 +21,22 @@ strict controller (whole-file units) with a strict-semantics trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Set
 
 from ..errors import SimulationError
 from ..program import MethodId, Program
 from ..transfer import StreamEngine, TransferController, NetworkLink
 from ..vm import ExecutionTrace
+from .metrics import InvocationLatencyReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["StallEvent", "SimulationResult", "Simulator"]
+
+
+def _cycle_latency_report() -> InvocationLatencyReport:
+    return InvocationLatencyReport(unit="cycles")
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,9 @@ class SimulationResult:
         bytes_terminated: Bytes whose transfer was cut off at the end.
         stalls: Every stall, in order.
         controller_name: Which transfer methodology ran.
+        latencies: Per-method first-invocation latencies (unit
+            ``"cycles"``) — the simulated twin of the measured report
+            :func:`repro.netserve.run_networked` produces.
     """
 
     total_cycles: float
@@ -70,6 +81,9 @@ class SimulationResult:
     bytes_terminated: float
     stalls: List[StallEvent] = field(default_factory=list)
     controller_name: str = ""
+    latencies: InvocationLatencyReport = field(
+        default_factory=_cycle_latency_report
+    )
 
     @property
     def stall_count(self) -> int:
@@ -94,6 +108,11 @@ class Simulator:
         controller: Transfer methodology.
         link: Network link model.
         cpi: Average cycles per bytecode instruction.
+        recorder: Optional :class:`repro.observe.TraceRecorder` (clock
+            ``"cycles"``); when given, the run emits ``unit_arrived``,
+            ``method_first_invoke``, ``stall_begin``/``stall_end``, and
+            the controller's ``schedule_decision``/``demand_fetch``
+            events on the simulated clock.
     """
 
     def __init__(
@@ -103,6 +122,7 @@ class Simulator:
         controller: TransferController,
         link: NetworkLink,
         cpi: float,
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         if cpi <= 0:
             raise SimulationError(f"CPI must be positive, got {cpi}")
@@ -111,6 +131,7 @@ class Simulator:
         self.controller = controller
         self.link = link
         self.cpi = float(cpi)
+        self.recorder = recorder
 
     def run(self) -> SimulationResult:
         """Run the co-simulation to completion."""
@@ -120,6 +141,9 @@ class Simulator:
             )
         )
         controller = self.controller
+        recorder = self.recorder
+        if recorder is not None and controller.recorder is None:
+            controller.recorder = recorder
         controller.setup(engine)
 
         wakeup = controller.next_wakeup
@@ -128,12 +152,16 @@ class Simulator:
         time = 0.0
         stall_cycles = 0.0
         stalls: List[StallEvent] = []
+        latencies = _cycle_latency_report()
+        invoked: Set[MethodId] = set()
         invocation_latency: Optional[float] = None
 
         for segment in self.trace.segments:
             unit = controller.required_unit(segment.method)
             if not engine.arrived(unit):
                 controller.on_stall(engine, segment.method)
+                if recorder is not None:
+                    recorder.stall_begin(time, method=str(segment.method))
                 arrival = engine.run_until_unit(
                     unit, wakeup=wakeup, on_advance=on_advance
                 )
@@ -146,7 +174,28 @@ class Simulator:
                     )
                 )
                 stall_cycles += arrival - time
+                if recorder is not None:
+                    recorder.stall_end(
+                        arrival,
+                        method=str(segment.method),
+                        duration=arrival - time,
+                    )
                 time = arrival
+            if segment.method not in invoked:
+                invoked.add(segment.method)
+                demand_fetched = segment.method in getattr(
+                    controller, "demand_fetches", ()
+                )
+                latencies.record(
+                    segment.method, time, demand_fetched=demand_fetched
+                )
+                if recorder is not None:
+                    recorder.method_first_invoke(
+                        time,
+                        method=str(segment.method),
+                        latency=time,
+                        demand_fetched=demand_fetched,
+                    )
             if invocation_latency is None:
                 invocation_latency = time
             time += segment.instructions * self.cpi
@@ -154,6 +203,19 @@ class Simulator:
 
         if invocation_latency is None:
             invocation_latency = 0.0
+        if recorder is not None:
+            for unit, arrival in sorted(
+                engine.arrival_times.items(), key=lambda item: item[1]
+            ):
+                recorder.unit_arrived(
+                    arrival,
+                    class_name=unit.class_name,
+                    kind=unit.kind.value,
+                    size=unit.size,
+                    method=(
+                        unit.method.method_name if unit.method else None
+                    ),
+                )
         execution_cycles = self.trace.total_instructions * self.cpi
         return SimulationResult(
             total_cycles=time,
@@ -164,4 +226,5 @@ class Simulator:
             bytes_terminated=engine.remaining_bytes,
             stalls=stalls,
             controller_name=controller.name,
+            latencies=latencies,
         )

@@ -11,7 +11,7 @@ with direct references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from ..bytecode import Opcode

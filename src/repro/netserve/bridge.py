@@ -20,14 +20,18 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..core.metrics import InvocationLatencyReport
+
 from ..core.simulation import StallEvent
 from ..transfer import CPU_HZ
 from ..vm import ExecutionTrace
 from .client import NonStrictFetcher
 from .stats import FetchStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["NetworkRunResult", "run_networked", "fetch_and_run"]
 
@@ -67,6 +71,7 @@ async def run_networked(
     trace: ExecutionTrace,
     cpi: float,
     cpu_hz: float = float(CPU_HZ),
+    recorder: Optional["TraceRecorder"] = None,
 ) -> NetworkRunResult:
     """Replay ``trace`` against the fetcher's real arrivals.
 
@@ -78,11 +83,17 @@ async def run_networked(
         cpu_hz: Clock used to convert compute cycles to wall seconds.
             The paper's 500 MHz Alpha by default; lower it to stretch
             compute phases and make overlap visible in a demo.
+        recorder: Optional :class:`repro.observe.TraceRecorder` (clock
+            ``"seconds"``): stalls and first invocations are emitted
+            on the fetcher's session clock, so its events and the
+            fetcher's own arrival events share one timebase.
 
     Returns:
         A :class:`NetworkRunResult` with measured latencies for every
         method the trace invoked.
     """
+    if recorder is None:
+        recorder = fetcher.recorder
     seconds_per_instruction = cpi / cpu_hz
     latencies = InvocationLatencyReport(unit="seconds")
     stalls: List[StallEvent] = []
@@ -94,6 +105,10 @@ async def run_networked(
         demanded = False
         if not fetcher.is_method_available(segment.method):
             stall_start = time.monotonic() - started
+            if recorder is not None:
+                recorder.stall_begin(
+                    fetcher.elapsed(), method=str(segment.method)
+                )
             await fetcher.wait_for_method(segment.method)
             demanded = fetcher.was_demand_fetched(segment.method)
             duration = (time.monotonic() - started) - stall_start
@@ -105,14 +120,26 @@ async def run_networked(
                 )
             )
             stall_seconds += duration
+            if recorder is not None:
+                recorder.stall_end(
+                    fetcher.elapsed(),
+                    method=str(segment.method),
+                    duration=duration,
+                )
         if segment.method not in latencies:
+            now = fetcher.elapsed()
             latencies.record(
-                segment.method,
-                fetcher.elapsed(),
-                demand_fetched=demanded,
+                segment.method, now, demand_fetched=demanded
             )
+            if recorder is not None:
+                recorder.method_first_invoke(
+                    now,
+                    method=str(segment.method),
+                    latency=now,
+                    demand_fetched=demanded,
+                )
             if invocation_latency is None:
-                invocation_latency = fetcher.elapsed()
+                invocation_latency = now
         # Compute phase: transfer keeps flowing while we "execute".
         await asyncio.sleep(
             segment.instructions * seconds_per_instruction
@@ -142,6 +169,7 @@ async def fetch_and_run(
     strategy: str = "static",
     cpu_hz: float = float(CPU_HZ),
     demand_timeout: float = 5.0,
+    recorder: Optional["TraceRecorder"] = None,
 ) -> "tuple[NetworkRunResult, FetchStats]":
     """Connect, replay a trace, close; the one-call convenience path."""
     fetcher = NonStrictFetcher(
@@ -150,11 +178,12 @@ async def fetch_and_run(
         policy=policy,
         strategy=strategy,
         demand_timeout=demand_timeout,
+        recorder=recorder,
     )
     await fetcher.connect()
     try:
         result = await run_networked(
-            fetcher, trace, cpi, cpu_hz=cpu_hz
+            fetcher, trace, cpi, cpu_hz=cpu_hz, recorder=recorder
         )
     finally:
         await fetcher.aclose()

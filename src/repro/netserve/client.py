@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConnectionLostError, ProtocolError, TransferError
 from ..program import MethodId
@@ -31,6 +31,9 @@ from .protocol import (
     read_frame,
 )
 from .stats import FetchStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["NonStrictFetcher"]
 
@@ -48,6 +51,9 @@ class NonStrictFetcher:
             retrying the ``DEMAND_FETCH``.
         demand_retries: Demand attempts before giving up with a
             :class:`~repro.errors.TransferError`.
+        recorder: Optional :class:`repro.observe.TraceRecorder` (clock
+            ``"seconds"``); arrivals and demand fetches are emitted as
+            events timestamped in seconds since the session started.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class NonStrictFetcher:
         strategy: str = "static",
         demand_timeout: float = 5.0,
         demand_retries: int = 3,
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -65,6 +72,7 @@ class NonStrictFetcher:
         self.strategy = strategy
         self.demand_timeout = demand_timeout
         self.demand_retries = demand_retries
+        self.recorder = recorder
         self.stats = FetchStats(policy=policy, strategy=strategy)
         self.manifest: Dict = {}
         #: Units in arrival order, with arrival seconds since connect.
@@ -149,6 +157,16 @@ class NonStrictFetcher:
     def _record_unit(self, unit: TransferUnit, payload: bytes) -> None:
         now = self.elapsed()
         self.unit_log.append((unit, now))
+        if self.recorder is not None:
+            self.recorder.unit_arrived(
+                now,
+                class_name=unit.class_name,
+                kind=unit.kind.value,
+                size=unit.size,
+                method=(
+                    unit.method.method_name if unit.method else None
+                ),
+            )
         self.buffers.setdefault(unit.class_name, []).append(
             (unit, payload)
         )
@@ -169,12 +187,10 @@ class NonStrictFetcher:
         try:
             while True:
                 frame = await read_frame(self._reader)
-                self.stats.frames_received += 1
-                self.stats.bytes_received += frame.wire_size
+                self.stats.record_frame(frame.wire_size)
                 if frame.kind == FrameKind.UNIT:
                     assert frame.unit is not None
-                    self.stats.units_received += 1
-                    self.stats.payload_bytes += len(frame.payload)
+                    self.stats.record_unit(len(frame.payload))
                     self._record_unit(frame.unit, frame.payload)
                 elif frame.kind == FrameKind.EOF:
                     self._eof.set()
@@ -262,7 +278,13 @@ class NonStrictFetcher:
                 )
             )
             await self._writer.drain()
-            self.stats.demand_fetches += 1
+            self.stats.record_demand_fetch()
+            if self.recorder is not None:
+                self.recorder.demand_fetch(
+                    self.elapsed(),
+                    method=str(method_id),
+                    attempt=attempt + 1,
+                )
             try:
                 await asyncio.wait_for(
                     event.wait(), timeout=self.demand_timeout

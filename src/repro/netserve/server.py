@@ -24,7 +24,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..errors import ConnectionLostError, ProtocolError, ReproError
 from ..program import Program
@@ -36,7 +36,6 @@ from ..reorder import (
     textual_first_use,
 )
 from ..transfer import (
-    ClassTransferPlan,
     TransferPolicy,
     TransferUnit,
     build_interleaved_file,
@@ -45,7 +44,6 @@ from ..transfer import (
 from ..vm import FirstUseProfile
 from .payloads import build_program_payloads
 from .protocol import (
-    Frame,
     FrameKind,
     encode_frame,
     eof_frame,
@@ -55,6 +53,9 @@ from .protocol import (
     unit_frame,
 )
 from .stats import ConnectionStats, ServerStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["TokenBucket", "ClassFileServer", "REORDER_STRATEGIES"]
 
@@ -111,6 +112,11 @@ class ClassFileServer:
             ``static`` and says so in the ``HELLO_ACK``.
         once: Stop accepting after the first connection finishes
             (handy for demos and CLI pipelines).
+        recorder: Optional :class:`repro.observe.TraceRecorder` (clock
+            ``"seconds"``); when given, every wire frame becomes a
+            ``frame_sent`` event and every demand-fetch promotion a
+            ``schedule_decision``, timestamped relative to server
+            start.
     """
 
     def __init__(
@@ -122,6 +128,7 @@ class ClassFileServer:
         burst: float = 256.0,
         profile: Optional[FirstUseProfile] = None,
         once: bool = False,
+        recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.program = program
         self.host = host
@@ -130,10 +137,12 @@ class ClassFileServer:
         self.burst = burst
         self.profile = profile
         self.once = once
+        self.recorder = recorder
         self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: List[asyncio.StreamWriter] = []
         self._finished = asyncio.Event()
+        self._t0 = time.monotonic()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -142,7 +151,12 @@ class ClassFileServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
+        self._t0 = time.monotonic()
         return self.address
+
+    def _now(self) -> float:
+        """Seconds since the server started (the recorder clock)."""
+        return time.monotonic() - self._t0
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -229,11 +243,10 @@ class ClassFileServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        conn = ConnectionStats(
+        conn = self.stats.open_connection(
             peer=str(writer.get_extra_info("peername")),
             started_at=time.monotonic(),
         )
-        self.stats.connections.append(conn)
         self._writers.append(writer)
         demand_task: Optional[asyncio.Task] = None
         try:
@@ -329,14 +342,26 @@ class ClassFileServer:
                 await bucket.consume(len(data))
             writer.write(data)
             await writer.drain()
-            conn.units_sent += 1
-            conn.frames_sent += 1
-            conn.bytes_sent += len(data)
+            conn.record_frame(len(data), unit=True)
+            if self.recorder is not None:
+                self.recorder.frame_sent(
+                    self._now(),
+                    kind="UNIT",
+                    size=len(data),
+                    class_name=unit.class_name,
+                    method=(
+                        unit.method.method_name if unit.method else None
+                    ),
+                    peer=conn.peer,
+                )
         eof = encode_frame(eof_frame())
         writer.write(eof)
         await writer.drain()
-        conn.frames_sent += 1
-        conn.bytes_sent += len(eof)
+        conn.record_frame(len(eof))
+        if self.recorder is not None:
+            self.recorder.frame_sent(
+                self._now(), kind="EOF", size=len(eof), peer=conn.peer
+            )
 
     async def _demand_loop(
         self,
@@ -358,12 +383,21 @@ class ClassFileServer:
             if frame.kind != FrameKind.DEMAND_FETCH:
                 continue  # tolerate chatty clients; units keep flowing
             demanded = frame.field_dict.get("class")
-            conn.demand_fetches += 1
             promoted = [
                 unit
                 for unit in pending
                 if unit.class_name == demanded
             ]
+            conn.record_demand_fetch(len(promoted))
+            if self.recorder is not None:
+                self.recorder.demand_fetch(
+                    self._now(),
+                    method=(
+                        f"{demanded}."
+                        f"{frame.field_dict.get('method')}"
+                    ),
+                    peer=conn.peer,
+                )
             if not promoted:
                 continue  # already sent (or unknown): nothing to jump
             remaining = [
@@ -374,4 +408,11 @@ class ClassFileServer:
             pending.clear()
             pending.extend(promoted)
             pending.extend(remaining)
-            conn.promoted_units += len(promoted)
+            if self.recorder is not None:
+                self.recorder.schedule_decision(
+                    self._now(),
+                    action="promote",
+                    target=str(demanded),
+                    promoted_units=len(promoted),
+                    peer=conn.peer,
+                )

@@ -1,16 +1,20 @@
-"""Wall-clock counters for the real server and fetcher.
+"""Wall-clock statistics for the real server and fetcher.
 
 Unlike :mod:`repro.core.metrics`, which accounts in simulated CPU
-cycles, these structures count what actually happened on the wire:
-bytes sent/received (frame overhead included), demand fetches, and the
-wall-clock seconds execution spent stalled per method.
+cycles, these structures count what actually happened on the wire.
+Since PR 3 they are thin views over a
+:class:`repro.observe.MetricsRegistry`: every counter is a labeled
+series (``conn``/``peer`` on the server, ``policy`` on the client), so
+one snapshot exposes all per-connection and per-session metrics, and
+the legacy attribute names (``units_sent``, ``bytes_received``, …)
+remain as read-only properties over the registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
+from ..observe.metrics import Histogram, MetricsRegistry
 from ..program import MethodId
 
 __all__ = [
@@ -20,22 +24,70 @@ __all__ = [
     "format_fetch_stats",
 ]
 
+#: Stall-histogram bucket bounds, in seconds (localhost to modem-ish).
+STALL_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 5.0)
 
-@dataclass
+
 class ConnectionStats:
-    """One client connection, as seen by the server."""
+    """One client connection, as seen by the server.
 
-    peer: str = ""
-    policy: str = ""
-    strategy: str = ""
-    frames_sent: int = 0
-    units_sent: int = 0
-    bytes_sent: int = 0
-    demand_fetches: int = 0
-    promoted_units: int = 0
-    started_at: float = 0.0
-    finished_at: Optional[float] = None
-    aborted: bool = False
+    Counters live in the owning :class:`ServerStats` registry under
+    this connection's labels; identity fields stay plain attributes.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        labels: Mapping[str, str],
+        peer: str = "",
+    ) -> None:
+        self._registry = registry
+        self._labels = dict(labels)
+        self.peer = peer
+        self.policy = ""
+        self.strategy = ""
+        self.started_at = 0.0
+        self.finished_at: Optional[float] = None
+        self.aborted = False
+
+    def _counter(self, name: str):
+        return self._registry.counter(name, self._labels)
+
+    # -- recording (server call sites) ------------------------------------
+
+    def record_frame(self, wire_bytes: int, unit: bool = False) -> None:
+        """Account one sent frame (and optionally its transfer unit)."""
+        self._counter("netserve_frames_sent").inc()
+        self._counter("netserve_bytes_sent").inc(wire_bytes)
+        if unit:
+            self._counter("netserve_units_sent").inc()
+
+    def record_demand_fetch(self, promoted_units: int) -> None:
+        self._counter("netserve_demand_fetches").inc()
+        if promoted_units:
+            self._counter("netserve_promoted_units").inc(promoted_units)
+
+    # -- legacy read interface --------------------------------------------
+
+    @property
+    def frames_sent(self) -> int:
+        return int(self._counter("netserve_frames_sent").value)
+
+    @property
+    def units_sent(self) -> int:
+        return int(self._counter("netserve_units_sent").value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._counter("netserve_bytes_sent").value)
+
+    @property
+    def demand_fetches(self) -> int:
+        return int(self._counter("netserve_demand_fetches").value)
+
+    @property
+    def promoted_units(self) -> int:
+        return int(self._counter("netserve_promoted_units").value)
 
     @property
     def duration(self) -> Optional[float]:
@@ -44,46 +96,114 @@ class ConnectionStats:
         return self.finished_at - self.started_at
 
 
-@dataclass
 class ServerStats:
-    """All connections a server has handled."""
+    """All connections a server has handled, over one registry."""
 
-    connections: List[ConnectionStats] = field(default_factory=list)
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.connections: List[ConnectionStats] = []
+
+    def open_connection(
+        self, peer: str, started_at: float
+    ) -> ConnectionStats:
+        """Create the labeled per-connection series and its view."""
+        conn = ConnectionStats(
+            self.metrics,
+            labels={"conn": str(len(self.connections)), "peer": peer},
+            peer=peer,
+        )
+        conn.started_at = started_at
+        self.connections.append(conn)
+        self.metrics.counter("netserve_connections_total").inc()
+        return conn
 
     @property
     def bytes_sent(self) -> int:
-        return sum(conn.bytes_sent for conn in self.connections)
+        return int(self.metrics.counter_total("netserve_bytes_sent"))
 
     @property
     def units_sent(self) -> int:
-        return sum(conn.units_sent for conn in self.connections)
+        return int(self.metrics.counter_total("netserve_units_sent"))
 
     @property
     def demand_fetches(self) -> int:
-        return sum(conn.demand_fetches for conn in self.connections)
+        return int(
+            self.metrics.counter_total("netserve_demand_fetches")
+        )
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        return self.metrics.snapshot()
 
 
-@dataclass
 class FetchStats:
     """One fetch session, as seen by the client."""
 
-    policy: str = ""
-    strategy: str = ""
-    frames_received: int = 0
-    units_received: int = 0
-    bytes_received: int = 0  # wire bytes, frame overhead included
-    payload_bytes: int = 0
-    demand_fetches: int = 0
-    stall_seconds: Dict[MethodId, float] = field(default_factory=dict)
+    def __init__(self, policy: str = "", strategy: str = "") -> None:
+        self.metrics = MetricsRegistry()
+        self.policy = policy
+        self.strategy = strategy
+        self._labels = {"policy": policy}
+        self.stall_seconds: Dict[MethodId, float] = {}
 
-    @property
-    def total_stall_seconds(self) -> float:
-        return sum(self.stall_seconds.values())
+    def _counter(self, name: str):
+        return self.metrics.counter(name, self._labels)
+
+    # -- recording (client call sites) ------------------------------------
+
+    def record_frame(self, wire_bytes: int) -> None:
+        self._counter("netserve_frames_received").inc()
+        self._counter("netserve_bytes_received").inc(wire_bytes)
+
+    def record_unit(self, payload_bytes: int) -> None:
+        self._counter("netserve_units_received").inc()
+        self._counter("netserve_payload_bytes").inc(payload_bytes)
+
+    def record_demand_fetch(self) -> None:
+        self._counter("netserve_demand_fetches").inc()
 
     def record_stall(self, method: MethodId, seconds: float) -> None:
         self.stall_seconds[method] = (
             self.stall_seconds.get(method, 0.0) + seconds
         )
+        self.stall_histogram.observe(seconds)
+
+    # -- legacy read interface --------------------------------------------
+
+    @property
+    def frames_received(self) -> int:
+        return int(self._counter("netserve_frames_received").value)
+
+    @property
+    def units_received(self) -> int:
+        return int(self._counter("netserve_units_received").value)
+
+    @property
+    def bytes_received(self) -> int:
+        """Wire bytes, frame overhead included."""
+        return int(self._counter("netserve_bytes_received").value)
+
+    @property
+    def payload_bytes(self) -> int:
+        return int(self._counter("netserve_payload_bytes").value)
+
+    @property
+    def demand_fetches(self) -> int:
+        return int(self._counter("netserve_demand_fetches").value)
+
+    @property
+    def stall_histogram(self) -> Histogram:
+        return self.metrics.histogram(
+            "netserve_stall_seconds",
+            self._labels,
+            buckets=STALL_BUCKETS,
+        )
+
+    @property
+    def total_stall_seconds(self) -> float:
+        return sum(self.stall_seconds.values())
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        return self.metrics.snapshot()
 
 
 def format_fetch_stats(stats: FetchStats) -> str:

@@ -1,0 +1,69 @@
+"""repro.observe — unified tracing and metrics across the stack.
+
+One event model (:mod:`repro.observe.events`) covers the cycle-exact
+simulator, the VM, and the real netserve server/client; one recorder
+(:class:`TraceRecorder`) collects events on whichever clock the
+subsystem runs; exporters render JSON-lines, Chrome
+``chrome://tracing`` traces, and ASCII terminal timelines; and a
+:class:`MetricsRegistry` holds labeled counters/gauges/histograms.
+
+The package is zero-dependency, and this ``__init__`` is an *import
+guard*: every export resolves lazily (PEP 562), so ``import repro`` —
+which reaches :mod:`repro.observe.metrics` through the netserve stats
+— never loads the exporters, the timeline renderer, or the VM
+instrument until something actually uses them.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict
+
+_EXPORTS: Dict[str, str] = {
+    # events
+    "DEMAND_FETCH": "events",
+    "EVENT_CATEGORIES": "events",
+    "EVENT_SCHEMA": "events",
+    "FRAME_SENT": "events",
+    "METHOD_FIRST_INVOKE": "events",
+    "SCHEDULE_DECISION": "events",
+    "STALL_BEGIN": "events",
+    "STALL_END": "events",
+    "UNIT_ARRIVED": "events",
+    "TraceEvent": "events",
+    "validate_event": "events",
+    # exporters
+    "chrome_trace_json": "export",
+    "events_from_jsonl": "export",
+    "to_chrome_trace": "export",
+    "to_jsonl": "export",
+    # VM instrument
+    "TracingInstrument": "instrument",
+    # metrics
+    "Counter": "metrics",
+    "Gauge": "metrics",
+    "Histogram": "metrics",
+    "MetricsRegistry": "metrics",
+    # recorder
+    "TraceRecorder": "recorder",
+    # timeline
+    "render_timeline": "timeline",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

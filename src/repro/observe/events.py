@@ -1,0 +1,118 @@
+"""The event taxonomy shared by every traced subsystem.
+
+One :class:`TraceEvent` model covers the cycle-exact simulator, the VM,
+and the real network server/client: each event has a *name* drawn from a
+small closed taxonomy, a timestamp on the emitting subsystem's clock,
+and a typed ``args`` mapping whose required keys are declared in
+:data:`EVENT_SCHEMA`.  Because every emitter conforms to the same
+schema, a simulated run and a netserve-measured run of the same
+workload produce directly comparable event streams — only the ``clock``
+differs (``"cycles"`` vs ``"seconds"``).
+
+Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
+
+* ``unit_arrived`` — a transfer unit finished arriving;
+* ``method_first_invoke`` — a method's first instruction could run;
+* ``stall_begin`` / ``stall_end`` — execution waited for transfer;
+* ``demand_fetch`` — a first-use misprediction was corrected (§5.1);
+* ``frame_sent`` — the server put a wire frame on the socket;
+* ``schedule_decision`` — a transfer controller started, queued, or
+  promoted a stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = [
+    "TraceEvent",
+    "EVENT_SCHEMA",
+    "EVENT_CATEGORIES",
+    "UNIT_ARRIVED",
+    "METHOD_FIRST_INVOKE",
+    "STALL_BEGIN",
+    "STALL_END",
+    "DEMAND_FETCH",
+    "FRAME_SENT",
+    "SCHEDULE_DECISION",
+    "validate_event",
+]
+
+UNIT_ARRIVED = "unit_arrived"
+METHOD_FIRST_INVOKE = "method_first_invoke"
+STALL_BEGIN = "stall_begin"
+STALL_END = "stall_end"
+DEMAND_FETCH = "demand_fetch"
+FRAME_SENT = "frame_sent"
+SCHEDULE_DECISION = "schedule_decision"
+
+#: Required ``args`` keys per event name.  Emitters may add extra keys
+#: (they survive every exporter round-trip), but these must be present.
+EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
+    UNIT_ARRIVED: ("class_name", "kind", "size"),
+    METHOD_FIRST_INVOKE: ("method", "latency", "demand_fetched"),
+    STALL_BEGIN: ("method",),
+    STALL_END: ("method", "duration"),
+    DEMAND_FETCH: ("method",),
+    FRAME_SENT: ("kind", "size"),
+    SCHEDULE_DECISION: ("action", "target"),
+}
+
+#: Display lane per event name (Chrome trace "thread", ASCII timeline
+#: row grouping).
+EVENT_CATEGORIES: Dict[str, str] = {
+    UNIT_ARRIVED: "transfer",
+    METHOD_FIRST_INVOKE: "execute",
+    STALL_BEGIN: "execute",
+    STALL_END: "execute",
+    DEMAND_FETCH: "schedule",
+    FRAME_SENT: "transfer",
+    SCHEDULE_DECISION: "schedule",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed observation.
+
+    Attributes:
+        name: Taxonomy name (a key of :data:`EVENT_SCHEMA`).
+        ts: Timestamp in the recorder's clock units.
+        args: Event payload; superset of the schema's required keys.
+        phase: ``"i"`` for instants, ``"X"`` for complete spans
+            (Chrome trace-event phases).
+        dur: Span duration in clock units (``phase == "X"`` only).
+    """
+
+    name: str
+    ts: float
+    args: Mapping[str, Any] = field(default_factory=dict)
+    phase: str = "i"
+    dur: float = 0.0
+
+    @property
+    def category(self) -> str:
+        return EVENT_CATEGORIES.get(self.name, "misc")
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+def validate_event(event: TraceEvent) -> None:
+    """Raise ``ValueError`` unless ``event`` conforms to the taxonomy."""
+    required = EVENT_SCHEMA.get(event.name)
+    if required is None:
+        raise ValueError(
+            f"unknown event name {event.name!r}; known: "
+            f"{sorted(EVENT_SCHEMA)}"
+        )
+    missing = [key for key in required if key not in event.args]
+    if missing:
+        raise ValueError(
+            f"event {event.name!r} is missing required args {missing} "
+            f"(got {sorted(event.args)})"
+        )
+    if event.phase not in ("i", "X"):
+        raise ValueError(f"unsupported phase {event.phase!r}")

@@ -1,0 +1,139 @@
+"""Exporters: JSON-lines and Chrome ``chrome://tracing`` trace events.
+
+Both formats round-trip losslessly through :class:`TraceEvent`:
+``events → to_jsonl → events_from_jsonl → events`` is the identity, and
+``to_chrome_trace`` emits the trace-event JSON object format that
+``chrome://tracing`` and Perfetto load directly (one ``pid`` per run,
+one ``tid`` per category lane, timestamps in microseconds).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .events import EVENT_CATEGORIES, TraceEvent
+from .recorder import TraceRecorder
+
+__all__ = [
+    "to_jsonl",
+    "events_from_jsonl",
+    "to_chrome_trace",
+    "chrome_trace_json",
+]
+
+#: Microseconds per clock unit, per recorder clock.  Cycle and
+#: instruction clocks map one unit to 1 µs so relative spacing is
+#: preserved exactly without committing to a CPU frequency.
+_MICROSECONDS_PER_UNIT: Dict[str, float] = {
+    "seconds": 1e6,
+    "cycles": 1.0,
+    "instructions": 1.0,
+}
+
+_LANES = ("transfer", "execute", "schedule", "misc")
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One compact JSON object per line, in the given order."""
+    lines = [
+        json.dumps(
+            {
+                "name": event.name,
+                "ts": event.ts,
+                "ph": event.phase,
+                "dur": event.dur,
+                "args": dict(event.args),
+            },
+            sort_keys=True,
+        )
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> List[TraceEvent]:
+    """Parse :func:`to_jsonl` output back into events."""
+    events: List[TraceEvent] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {line_number} is not valid JSON: {line[:80]!r}"
+            ) from exc
+        events.append(
+            TraceEvent(
+                name=record["name"],
+                ts=float(record["ts"]),
+                args=record.get("args", {}),
+                phase=record.get("ph", "i"),
+                dur=float(record.get("dur", 0.0)),
+            )
+        )
+    return events
+
+
+def to_chrome_trace(
+    recorder: TraceRecorder,
+    process_name: str = "repro",
+) -> Dict[str, object]:
+    """Render a recorder into the Chrome trace-event object format."""
+    scale = _MICROSECONDS_PER_UNIT.get(recorder.clock, 1.0)
+    lane_ids = {lane: index + 1 for index, lane in enumerate(_LANES)}
+    trace_events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": f"{process_name} ({recorder.clock})"},
+        }
+    ]
+    trace_events.extend(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in lane_ids.items()
+    )
+    for event in recorder.sorted_events():
+        lane = EVENT_CATEGORIES.get(event.name, "misc")
+        record: Dict[str, object] = {
+            "name": event.name,
+            "cat": lane,
+            "ph": event.phase,
+            "ts": event.ts * scale,
+            "pid": 1,
+            "tid": lane_ids[lane],
+            "args": dict(event.args),
+        }
+        if event.phase == "i":
+            record["s"] = "t"  # thread-scoped instant
+        else:
+            record["dur"] = event.dur * scale
+        trace_events.append(record)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": recorder.clock},
+    }
+
+
+def chrome_trace_json(
+    recorder: TraceRecorder,
+    process_name: str = "repro",
+    indent: Optional[int] = None,
+) -> str:
+    """:func:`to_chrome_trace` as a JSON string ready to write."""
+    return json.dumps(
+        to_chrome_trace(recorder, process_name=process_name),
+        indent=indent,
+        sort_keys=True,
+    )

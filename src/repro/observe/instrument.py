@@ -1,0 +1,84 @@
+"""BIT-style VM instrument that feeds a :class:`TraceRecorder`.
+
+Attach a :class:`TracingInstrument` to a
+:class:`~repro.vm.interpreter.VirtualMachine` and every first method
+invocation lands in the observability event stream, timestamped on the
+VM's only meaningful clock: the dynamic instruction count.  Method
+activations are also emitted as complete spans, which makes a bare
+(untransferred) run loadable in ``chrome://tracing`` next to a
+simulated or networked one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..bytecode import Instruction
+from ..program import MethodId, Program
+from ..vm.instrument import Instrument
+from .recorder import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..vm.frame import Frame
+
+__all__ = ["TracingInstrument"]
+
+
+class TracingInstrument(Instrument):
+    """Emits ``method_first_invoke`` events and method-activation spans.
+
+    Args:
+        recorder: Destination recorder; created on demand (clock
+            ``"instructions"``) when not supplied.
+        spans: Also emit one complete span per method activation
+            (entry to exit).  Off by default: first-invoke instants are
+            what the transfer analyses consume, spans are for humans.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[TraceRecorder] = None,
+        spans: bool = False,
+    ) -> None:
+        self.recorder = recorder or TraceRecorder(clock="instructions")
+        self.spans = spans
+        self._instructions = 0
+        self._seen: Dict[MethodId, int] = {}
+        self._entries: List[Tuple[MethodId, int]] = []
+
+    def on_start(self, program: Program) -> None:
+        self._instructions = 0
+
+    def on_method_entry(self, method_id: MethodId, frame: "Frame") -> None:
+        if method_id not in self._seen:
+            self._seen[method_id] = self._instructions
+            self.recorder.method_first_invoke(
+                ts=float(self._instructions),
+                method=str(method_id),
+                latency=float(self._instructions),
+            )
+        if self.spans:
+            self._entries.append((method_id, self._instructions))
+
+    def on_method_exit(self, method_id: MethodId) -> None:
+        if not self.spans or not self._entries:
+            return
+        entered_id, entered_at = self._entries.pop()
+        self.recorder.emit(
+            "method_first_invoke",
+            float(entered_at),
+            phase="X",
+            dur=float(self._instructions - entered_at),
+            method=str(entered_id),
+            latency=float(entered_at),
+            demand_fetched=False,
+        )
+
+    def on_instruction(
+        self, method_id: MethodId, instruction: Instruction, offset: int
+    ) -> None:
+        self._instructions += 1
+
+    def first_invoke_instruction(self, method_id: MethodId) -> int:
+        """Dynamic instruction count at the method's first entry."""
+        return self._seen[method_id]

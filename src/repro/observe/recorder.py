@@ -1,0 +1,160 @@
+"""The event recorder every traced subsystem writes into.
+
+:class:`TraceRecorder` is deliberately boring: an append-only list of
+:class:`~repro.observe.events.TraceEvent` behind a single ``enabled``
+check, with one typed helper per taxonomy name so call sites cannot
+misspell a schema key.  A disabled recorder's helpers return before
+touching any argument, so tracing hooks can stay threaded through hot
+paths permanently (the BIT philosophy: instrumentation is part of the
+substrate, cost is opt-in).
+
+This is a different animal from :class:`repro.vm.TraceRecorder`, which
+records *execution traces* (instruction segments) for replay; this one
+records *observability events* about a run already happening.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .events import (
+    DEMAND_FETCH,
+    FRAME_SENT,
+    METHOD_FIRST_INVOKE,
+    SCHEDULE_DECISION,
+    STALL_BEGIN,
+    STALL_END,
+    UNIT_ARRIVED,
+    TraceEvent,
+    validate_event,
+)
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Collects typed span/instant events on one clock.
+
+    Args:
+        clock: Unit of every timestamp this recorder holds —
+            ``"cycles"`` (simulator), ``"seconds"`` (netserve), or
+            ``"instructions"`` (bare VM runs).
+        enabled: When False, every helper is a no-op returning
+            immediately; flip :attr:`enabled` at any time.
+    """
+
+    def __init__(self, clock: str = "cycles", enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """Events with one taxonomy name, in emission order."""
+        return [event for event in self.events if event.name == name]
+
+    def sorted_events(self) -> List[TraceEvent]:
+        """Events in timestamp order (emission order breaks ties)."""
+        return sorted(self.events, key=lambda event: event.ts)
+
+    # -- raw emission ------------------------------------------------------
+
+    def emit(
+        self,
+        name: str,
+        ts: float,
+        phase: str = "i",
+        dur: float = 0.0,
+        **args: Any,
+    ) -> None:
+        """Append one validated event (no-op while disabled).
+
+        Raises:
+            ValueError: If ``name`` is not in the taxonomy, a required
+                schema arg is missing, or ``phase`` is unsupported.
+        """
+        if not self.enabled:
+            return
+        event = TraceEvent(
+            name=name, ts=float(ts), args=args, phase=phase,
+            dur=float(dur),
+        )
+        validate_event(event)
+        self.events.append(event)
+
+    # -- typed helpers (one per taxonomy name) -----------------------------
+
+    def unit_arrived(
+        self,
+        ts: float,
+        class_name: str,
+        kind: str,
+        size: int,
+        method: Optional[str] = None,
+        **extra: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            UNIT_ARRIVED, ts, class_name=class_name, kind=kind,
+            size=size, method=method, **extra,
+        )
+
+    def method_first_invoke(
+        self,
+        ts: float,
+        method: str,
+        latency: float,
+        demand_fetched: bool = False,
+        **extra: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            METHOD_FIRST_INVOKE, ts, method=method, latency=latency,
+            demand_fetched=demand_fetched, **extra,
+        )
+
+    def stall_begin(self, ts: float, method: str, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(STALL_BEGIN, ts, method=method, **extra)
+
+    def stall_end(
+        self, ts: float, method: str, duration: float, **extra: Any
+    ) -> None:
+        """Emit the stall's end instant plus its span in one call."""
+        if not self.enabled:
+            return
+        self.emit(STALL_END, ts, method=method, duration=duration, **extra)
+        self.emit(
+            STALL_END,
+            ts - duration,
+            phase="X",
+            dur=duration,
+            method=method,
+            duration=duration,
+        )
+
+    def demand_fetch(self, ts: float, method: str, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(DEMAND_FETCH, ts, method=method, **extra)
+
+    def frame_sent(
+        self, ts: float, kind: str, size: int, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(FRAME_SENT, ts, kind=kind, size=size, **extra)
+
+    def schedule_decision(
+        self, ts: float, action: str, target: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            SCHEDULE_DECISION, ts, action=action, target=target, **extra
+        )

@@ -1,0 +1,123 @@
+"""ASCII timeline renderer: the paper's per-method tables as a picture.
+
+One row per method, time running left to right across a fixed-width
+ruler.  Each row shows the gap between *when the method's unit arrived*
+and *when it was first invoked* — the overlap (or stall) the paper's
+Tables 4–7 quantify::
+
+    A.main    |U=X###.............................|
+    A.helper  |.....U=====X#######................|
+    B.run     |............U!X####################|
+
+    U unit arrived   X first invoke   = arrived, not yet invoked
+    ! demand fetch   # invoked earlier (method live)   . idle
+
+A trailing ``stalls`` row marks spans where execution sat waiting on
+transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .events import (
+    DEMAND_FETCH,
+    METHOD_FIRST_INVOKE,
+    STALL_END,
+    UNIT_ARRIVED,
+)
+from .recorder import TraceRecorder
+
+__all__ = ["render_timeline"]
+
+
+def _method_label(class_name: Optional[str], method: Optional[str]) -> str:
+    if class_name and method:
+        return f"{class_name}.{method}"
+    return method or class_name or "?"
+
+
+def _column(ts: float, span: float, width: int) -> int:
+    if span <= 0:
+        return 0
+    return min(width - 1, max(0, int(ts / span * width)))
+
+
+def render_timeline(
+    recorder: TraceRecorder, width: int = 60
+) -> str:
+    """Render the recorder's events into a fixed-width ASCII timeline."""
+    if width < 10:
+        raise ValueError(f"timeline width must be >= 10, got {width}")
+    events = recorder.sorted_events()
+    if not events:
+        return "(no events)"
+    span = max(event.end for event in events) or 1.0
+
+    # Per-method facts: unit arrival, first invoke, demand fetch.
+    arrivals: Dict[str, float] = {}
+    invokes: Dict[str, Tuple[float, bool]] = {}
+    order: List[str] = []
+    for event in events:
+        if event.name == UNIT_ARRIVED and event.args.get("method"):
+            label = _method_label(
+                event.args.get("class_name"), event.args.get("method")
+            )
+            arrivals.setdefault(label, event.ts)
+            if label not in order:
+                order.append(label)
+        elif event.name == METHOD_FIRST_INVOKE:
+            label = str(event.args["method"])
+            invokes.setdefault(
+                label,
+                (event.ts, bool(event.args.get("demand_fetched"))),
+            )
+            if label not in order:
+                order.append(label)
+
+    label_width = max((len(label) for label in order), default=6)
+    lines: List[str] = [
+        f"timeline: {len(events)} events over {span:g} "
+        f"{recorder.clock} ({width} cols)"
+    ]
+    for label in order:
+        row = ["."] * width
+        arrival = arrivals.get(label)
+        invoke = invokes.get(label)
+        if arrival is not None:
+            start = _column(arrival, span, width)
+            end = (
+                _column(invoke[0], span, width)
+                if invoke is not None
+                else width
+            )
+            for col in range(start, end):
+                row[col] = "="
+            row[start] = "U"
+        if invoke is not None:
+            invoke_col = _column(invoke[0], span, width)
+            for col in range(invoke_col, width):
+                row[col] = "#"
+            row[invoke_col] = "!" if invoke[1] else "X"
+        lines.append(f"{label:<{label_width}} |{''.join(row)}|")
+
+    stall_row = ["."] * width
+    for event in events:
+        if event.name == STALL_END and event.phase == "X":
+            begin = _column(event.ts, span, width)
+            end = _column(event.end, span, width)
+            for col in range(begin, end + 1):
+                stall_row[col] = "s"
+    demand_count = 0
+    for event in events:
+        if event.name == DEMAND_FETCH:
+            stall_row[_column(event.ts, span, width)] = "!"
+            demand_count += 1
+    lines.append(f"{'stalls':<{label_width}} |{''.join(stall_row)}|")
+    lines.append(
+        "legend: U unit arrived  X first invoke  ! demand fetch  "
+        "= arrived/waiting  # executing  s stalled"
+    )
+    if demand_count:
+        lines.append(f"demand fetches: {demand_count}")
+    return "\n".join(lines)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, Union
 
 from .classfile import deserialize, serialize
 from .errors import ClassFileError, ReproError

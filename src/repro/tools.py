@@ -10,6 +10,10 @@ Subcommands (all operate on a program directory written by
 * ``verify DIR`` — run the full verifier over every class;
 * ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
   stored trace against strict and non-strict transfer;
+* ``trace DIR TRACE --out trace.json`` — run one traced configuration
+  (simulated cycles, or ``--netserve`` for real sockets) and export
+  the unified event stream as a Chrome-loadable trace, JSON-lines,
+  and/or an ASCII ``--timeline``;
 * ``serve DIR --port N --bandwidth B`` — serve the program's transfer
   units over real TCP (see :mod:`repro.netserve`);
 * ``fetch HOST PORT [TRACE]`` — fetch a served program non-strictly
@@ -24,7 +28,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .classfile import class_layout
-from .core import run_nonstrict, strict_baseline
+from .core import run_nonstrict, run_strict, strict_baseline
 from .datapart import partition_class
 from .errors import ReproError
 from .linker import verify_class
@@ -137,6 +141,110 @@ def _cmd_simulate(arguments) -> int:
     print(f"stalls:            {result.stall_count}")
     print(f"bytes terminated:  {result.bytes_terminated:,.0f}")
     return 0
+
+
+def _cmd_trace(arguments) -> int:
+    from .observe import (
+        TraceRecorder,
+        chrome_trace_json,
+        render_timeline,
+        to_jsonl,
+    )
+
+    program = load_program(arguments.directory)
+    trace = load_trace(arguments.trace)
+
+    if arguments.netserve:
+        recorder = TraceRecorder(clock="seconds")
+        result = _traced_netserve_run(
+            program, trace, arguments, recorder
+        )
+        latencies = result.latencies
+        print("mode:              netserve (wall clock, seconds)")
+        print(
+            f"wall time:         {result.wall_seconds * 1e3:.1f} ms"
+        )
+        print(f"stalls:            {result.stall_count}")
+    else:
+        recorder = TraceRecorder(clock="cycles")
+        link = _LINKS[arguments.link]
+        if arguments.policy == "strict":
+            result = run_strict(
+                program, trace, link, arguments.cpi, recorder=recorder
+            )
+        else:
+            order = estimate_first_use(program)
+            result = run_nonstrict(
+                program,
+                trace,
+                order,
+                link,
+                arguments.cpi,
+                method=arguments.method,
+                data_partitioning=(
+                    arguments.policy == "data_partitioned"
+                ),
+                recorder=recorder,
+            )
+        latencies = result.latencies
+        print("mode:              simulated (cycle clock)")
+        print(
+            f"total:             {result.total_cycles:,.0f} cycles"
+        )
+        print(f"stalls:            {result.stall_count}")
+
+    print(f"events:            {len(recorder.events)}")
+    unit = latencies.unit
+    for entry in latencies.entries:
+        marker = " (demand)" if entry.demand_fetched else ""
+        if unit == "seconds":
+            shown = f"{entry.latency * 1e3:.1f} ms"
+        else:
+            shown = f"{entry.latency:,.0f} cycles"
+        print(f"  first invoke {entry.method}: {shown}{marker}")
+
+    if arguments.out:
+        Path(arguments.out).write_text(
+            chrome_trace_json(recorder, indent=2)
+        )
+        print(f"chrome trace:      {arguments.out}")
+    if arguments.jsonl:
+        Path(arguments.jsonl).write_text(
+            to_jsonl(recorder.sorted_events())
+        )
+        print(f"jsonl events:      {arguments.jsonl}")
+    if arguments.timeline:
+        print(render_timeline(recorder, width=arguments.width))
+    return 0
+
+
+def _traced_netserve_run(program, trace, arguments, recorder):
+    """One in-process server + traced fetch over a real socket."""
+    import asyncio
+
+    from .netserve import ClassFileServer, fetch_and_run
+
+    async def scenario():
+        server = ClassFileServer(
+            program,
+            bandwidth=arguments.bandwidth,
+            once=True,
+        )
+        host, port = await server.start()
+        try:
+            result, _ = await fetch_and_run(
+                host,
+                port,
+                trace,
+                arguments.cpi,
+                policy=arguments.policy,
+                recorder=recorder,
+            )
+        finally:
+            await server.aclose()
+        return result
+
+    return asyncio.run(scenario())
 
 
 def _cmd_serve(arguments) -> int:
@@ -280,6 +388,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     simulate.add_argument("--streams", type=int, default=None)
     simulate.add_argument("--partition", action="store_true")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    traced = commands.add_parser(
+        "trace",
+        help="run one traced configuration and export its events",
+    )
+    traced.add_argument("directory")
+    traced.add_argument("trace")
+    traced.add_argument(
+        "--policy",
+        choices=("strict", "non_strict", "data_partitioned"),
+        default="non_strict",
+    )
+    traced.add_argument(
+        "--method",
+        choices=("interleaved", "parallel"),
+        default="interleaved",
+        help="transfer methodology (simulated mode only)",
+    )
+    traced.add_argument(
+        "--link", choices=sorted(_LINKS), default="t1"
+    )
+    traced.add_argument("--cpi", type=float, default=100.0)
+    traced.add_argument(
+        "--netserve",
+        action="store_true",
+        help="measure over a real localhost socket instead of the "
+        "cycle-exact simulator",
+    )
+    traced.add_argument(
+        "--bandwidth",
+        type=float,
+        default=None,
+        help="netserve pacing cap in bytes/second (default: unpaced)",
+    )
+    traced.add_argument(
+        "--out",
+        default=None,
+        help="write a Chrome-loadable trace (chrome://tracing) here",
+    )
+    traced.add_argument(
+        "--jsonl",
+        default=None,
+        help="write the raw event stream as JSON-lines here",
+    )
+    traced.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print an ASCII per-method timeline",
+    )
+    traced.add_argument(
+        "--width",
+        type=int,
+        default=60,
+        help="timeline width in columns",
+    )
+    traced.set_defaults(handler=_cmd_trace)
 
     serve = commands.add_parser(
         "serve", help="serve transfer units over TCP"

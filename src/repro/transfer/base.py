@@ -8,11 +8,14 @@ stalls (mispredictions).  The co-simulator drives it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..program import MethodId
 from .streams import StreamEngine
 from .units import TransferUnit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observe import TraceRecorder
 
 __all__ = ["TransferController"]
 
@@ -26,6 +29,11 @@ class TransferController:
     #: Concurrent-stream limit the engine should enforce (None = no
     #: limit); only the parallel methodology uses more than one stream.
     max_streams: Optional[int] = None
+
+    #: Optional :class:`repro.observe.TraceRecorder` the simulator
+    #: attaches before ``setup``; controllers emit their
+    #: ``schedule_decision`` / ``demand_fetch`` events into it.
+    recorder: Optional["TraceRecorder"] = None
 
     def setup(self, engine: StreamEngine) -> None:
         """Request initial streams; called once at simulation start."""

@@ -103,6 +103,13 @@ class InterleavedController(TransferController):
         self.sequence = build_interleaved_file(self.plans, order)
 
     def setup(self, engine: StreamEngine) -> None:
+        if self.recorder is not None:
+            self.recorder.schedule_decision(
+                engine.time,
+                action="stream_start",
+                target="interleaved",
+                units=len(self.sequence),
+            )
         engine.request_stream("interleaved", self.sequence)
 
     def required_unit(self, method_id: MethodId) -> TransferUnit:

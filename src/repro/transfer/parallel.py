@@ -93,11 +93,28 @@ class ParallelController(TransferController):
         if stream is None:
             # Not yet requested: request it now, at the queue front.
             self.demand_fetches.append(method_id)
+            self._demand_event(engine, method_id)
             self._request(engine, class_name, front=True)
         elif not stream.started and not stream.done:
             # Waiting for a slot: it transfers next.
             self.demand_fetches.append(method_id)
+            self._demand_event(engine, method_id)
             engine.promote(stream)
+            if self.recorder is not None:
+                self.recorder.schedule_decision(
+                    engine.time,
+                    action="promote",
+                    target=class_name,
+                    reason="demand_fetch",
+                )
+
+    def _demand_event(
+        self, engine: StreamEngine, method_id: MethodId
+    ) -> None:
+        if self.recorder is not None:
+            self.recorder.demand_fetch(
+                engine.time, method=str(method_id)
+            )
 
     # -- internals ---------------------------------------------------------
 
@@ -129,6 +146,15 @@ class ParallelController(TransferController):
             if start.class_name != class_name
         ]
         plan = self.plans[class_name]
+        if self.recorder is not None:
+            start = self.schedule.start_for(class_name)
+            self.recorder.schedule_decision(
+                engine.time,
+                action="demand_start" if front else "stream_start",
+                target=class_name,
+                start_after_bytes=start.start_after_bytes,
+                required_prefix_bytes=start.required_prefix_bytes,
+            )
         self._streams[class_name] = engine.request_stream(
             class_name, plan.units, front=front
         )

@@ -43,6 +43,13 @@ class StrictSequentialController(TransferController):
             units.extend(self.plans[class_name].units)
         if not units:
             raise TransferError("program has no classes to transfer")
+        if self.recorder is not None:
+            self.recorder.schedule_decision(
+                engine.time,
+                action="stream_start",
+                target="strict-sequential",
+                units=len(units),
+            )
         engine.request_stream("strict-sequential", units)
 
     def required_unit(self, method_id: MethodId) -> TransferUnit:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bytecode import Instruction, Opcode
-from repro.classfile import ClassFile, ClassFileBuilder
+from repro.classfile import ClassFileBuilder
 from repro.errors import ClassFileError
 
 

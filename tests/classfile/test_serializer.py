@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.bytecode import Instruction, Opcode
 from repro.classfile import (
-    ClassFile,
     ClassFileBuilder,
     deserialize,
     serialize,

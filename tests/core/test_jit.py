@@ -6,7 +6,6 @@ from repro.core import (
     JitModel,
     simulate_jit_overlap,
     strict_jit_total,
-    strict_baseline,
 )
 from repro.reorder import estimate_first_use
 from repro.transfer import MODEM_LINK, T1_LINK, NetworkLink

@@ -3,14 +3,12 @@
 import pytest
 
 from repro.core import (
-    SimulationResult,
     Simulator,
     run_nonstrict,
     run_strict,
     strict_baseline,
 )
 from repro.errors import SimulationError
-from repro.program import MethodId
 from repro.reorder import estimate_first_use, profile_first_use
 from repro.transfer import (
     MODEM_LINK,
@@ -18,7 +16,7 @@ from repro.transfer import (
     InterleavedController,
     NetworkLink,
 )
-from repro.vm import ExecutionTrace, TraceSegment, record_run
+from repro.vm import ExecutionTrace, record_run
 from repro.workloads import figure1_program
 
 CPI = 50.0

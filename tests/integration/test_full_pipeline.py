@@ -5,7 +5,6 @@ import pytest
 from repro import (
     MODEM_LINK,
     T1_LINK,
-    TransferPolicy,
     compile_source,
     estimate_first_use,
     order_from_profile,

@@ -34,7 +34,13 @@ def _serve_once(directory, port_file, results):
     )
 
 
-def _wait_for_port(port_file, timeout=10.0):
+def _wait_for_port(port_file, thread, timeout=30.0):
+    """Poll until the server publishes its port.
+
+    Fails fast if the server thread died without writing the file
+    (otherwise a startup crash burns the whole timeout), and keeps the
+    poll interval small so the test never sleeps longer than it must.
+    """
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
         try:
@@ -44,7 +50,11 @@ def _wait_for_port(port_file, timeout=10.0):
                 return int(text)
         except FileNotFoundError:
             pass
-        time.sleep(0.02)
+        if not thread.is_alive():
+            raise AssertionError(
+                "server thread exited before writing its port file"
+            )
+        time.sleep(0.005)
     raise AssertionError("server never wrote its port file")
 
 
@@ -57,7 +67,7 @@ def test_serve_and_fetch_round_trip(stored, tmp_path, capsys):
     )
     thread.start()
     try:
-        port = _wait_for_port(port_file)
+        port = _wait_for_port(port_file, thread)
         code = main(
             [
                 "fetch",
@@ -88,7 +98,7 @@ def test_fetch_without_trace_prints_stats(stored, tmp_path, capsys):
     )
     thread.start()
     try:
-        port = _wait_for_port(port_file)
+        port = _wait_for_port(port_file, thread)
         code = main(
             ["fetch", "127.0.0.1", str(port), "--policy", "strict"]
         )

@@ -212,12 +212,19 @@ def test_connection_loss_mid_stream_raises_typed_error():
         last_class, last_method = next(
             (c, m) for c, m in reversed(announced) if m is not None
         )
+        target = MethodId(last_class, last_method)
         waiter = asyncio.ensure_future(
-            fetcher.wait_for_method(
-                MethodId(last_class, last_method), demand=False
-            )
+            fetcher.wait_for_method(target, demand=False)
         )
-        await asyncio.sleep(0.05)
+        # Deterministic readiness: yield to the loop until the waiter
+        # has registered its arrival event, instead of hoping a fixed
+        # sleep is long enough on a loaded CI machine.
+        for _ in range(1000):
+            if target in fetcher._events:
+                break
+            await asyncio.sleep(0)
+        else:
+            raise AssertionError("waiter never registered its event")
         await server.aclose()  # drops the connection mid-stream
         with pytest.raises(ConnectionLostError):
             await asyncio.wait_for(waiter, timeout=5.0)

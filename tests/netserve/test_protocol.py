@@ -12,7 +12,6 @@ from repro.errors import (
 )
 from repro.netserve import (
     FRAME_OVERHEAD,
-    Frame,
     FrameKind,
     decode_frame,
     demand_fetch_frame,

@@ -1,0 +1,89 @@
+"""The ``repro-inspect trace`` subcommand, driven like a shell user."""
+
+import json
+
+import pytest
+
+from repro import figure1_program, record_run, save_program, save_trace
+from repro.tools import main
+
+
+@pytest.fixture()
+def stored(tmp_path):
+    program = figure1_program()
+    directory = save_program(program, tmp_path / "prog")
+    _, recorder = record_run(program)
+    trace = save_trace(recorder.trace, tmp_path / "trace.json")
+    return str(directory), str(trace)
+
+
+def test_trace_simulated_writes_chrome_trace_and_timeline(
+    stored, tmp_path, capsys
+):
+    directory, trace = stored
+    out = tmp_path / "trace_out.json"
+    jsonl = tmp_path / "events.jsonl"
+    code = main(
+        [
+            "trace",
+            directory,
+            trace,
+            "--out",
+            str(out),
+            "--jsonl",
+            str(jsonl),
+            "--timeline",
+            "--width",
+            "50",
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "mode:" in printed
+    assert "A.main" in printed
+    assert "legend:" in printed  # the ASCII timeline rendered
+
+    chrome = json.loads(out.read_text())
+    assert chrome["otherData"]["clock"] == "cycles"
+    names = {e["name"] for e in chrome["traceEvents"]}
+    assert "method_first_invoke" in names
+    assert "unit_arrived" in names
+
+    lines = [
+        json.loads(line)
+        for line in jsonl.read_text().splitlines()
+        if line.strip()
+    ]
+    assert any(r["name"] == "method_first_invoke" for r in lines)
+
+
+def test_trace_strict_policy_runs(stored, capsys):
+    directory, trace = stored
+    code = main(["trace", directory, trace, "--policy", "strict"])
+    assert code == 0
+    assert "A.main" in capsys.readouterr().out
+
+
+def test_trace_netserve_measures_wall_clock(stored, tmp_path, capsys):
+    directory, trace = stored
+    out = tmp_path / "wall.json"
+    code = main(
+        [
+            "trace",
+            directory,
+            trace,
+            "--netserve",
+            "--bandwidth",
+            "200000",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert "netserve" in capsys.readouterr().out
+    chrome = json.loads(out.read_text())
+    assert chrome["otherData"]["clock"] == "seconds"
+    assert any(
+        e["name"] == "frame_sent" or e["name"] == "unit_arrived"
+        for e in chrome["traceEvents"]
+    )

@@ -1,0 +1,56 @@
+"""``import repro`` must stay light: no exporters, no renderers.
+
+The observe package lazy-loads its submodules (PEP 562).  The netserve
+stats layer legitimately pulls in ``repro.observe.metrics`` at import
+time; everything else — exporters, the timeline renderer, the VM
+instrument, the recorder — must not load until first use.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def test_import_repro_does_not_load_observe_machinery():
+    code = (
+        "import json, sys\n"
+        "import repro\n"
+        "print(json.dumps(sorted("
+        "m for m in sys.modules if m.startswith('repro.observe'))))\n"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    loaded = set(json.loads(output))
+    forbidden = {
+        "repro.observe.events",
+        "repro.observe.export",
+        "repro.observe.instrument",
+        "repro.observe.recorder",
+        "repro.observe.timeline",
+    }
+    assert not (loaded & forbidden), loaded
+    # The netserve stats layer is allowed (and expected) to bring in
+    # the metrics registry.
+    assert "repro.observe.metrics" in loaded
+
+
+def test_lazy_attribute_access_loads_on_demand():
+    code = (
+        "import sys\n"
+        "import repro.observe as observe\n"
+        "assert 'repro.observe.export' not in sys.modules\n"
+        "observe.to_jsonl([])\n"
+        "assert 'repro.observe.export' in sys.modules\n"
+        "print('ok')\n"
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    assert output.strip() == "ok"

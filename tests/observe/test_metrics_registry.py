@@ -1,0 +1,72 @@
+"""MetricsRegistry: labeled series, aggregation, and snapshots."""
+
+import pytest
+
+from repro.observe import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_is_monotonic():
+    counter = Counter()
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13.0
+
+
+def test_histogram_buckets_and_summary_stats():
+    histogram = Histogram(buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 5.0, 100.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.total == 107.5
+    assert histogram.min == 0.5
+    assert histogram.max == 100.0
+    assert histogram.mean == pytest.approx(26.875)
+    # <=1.0, <=10.0, +Inf overflow
+    assert histogram.bucket_counts == [1, 2, 1]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram(buckets=(5.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+
+
+def test_registry_series_are_keyed_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("requests", {"peer": "a"})
+    b = registry.counter("requests", {"peer": "b"})
+    assert a is not b
+    # Label insertion order does not create a new series.
+    assert registry.counter("x", {"p": "1", "q": "2"}) is registry.counter(
+        "x", {"q": "2", "p": "1"}
+    )
+    a.inc(3)
+    b.inc(4)
+    assert registry.counter_total("requests") == 7.0
+    assert registry.counter_total("missing") == 0.0
+
+
+def test_snapshot_is_plain_sorted_data():
+    registry = MetricsRegistry()
+    registry.counter("frames", {"conn": "1"}).inc(2)
+    registry.gauge("inflight").set(1)
+    registry.histogram("stall_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["counters"] == [
+        {"name": "frames", "labels": {"conn": "1"}, "value": 2.0}
+    ]
+    assert snap["gauges"][0]["value"] == 1.0
+    (hist,) = snap["histograms"]
+    assert hist["count"] == 1
+    assert hist["buckets"] == {"0.1": 0, "1.0": 1, "+Inf": 0}

@@ -1,0 +1,93 @@
+"""TraceRecorder: typed helpers, ordering, and the disabled fast path."""
+
+import pytest
+
+from repro.observe import (
+    EVENT_SCHEMA,
+    STALL_END,
+    TraceRecorder,
+    UNIT_ARRIVED,
+    validate_event,
+)
+
+
+def fully_populated_recorder():
+    recorder = TraceRecorder(clock="cycles")
+    recorder.unit_arrived(10.0, class_name="A", kind="method", size=64, method="main")
+    recorder.method_first_invoke(12.0, method="A.main", latency=12.0)
+    recorder.stall_begin(20.0, method="A.helper")
+    recorder.stall_end(25.0, method="A.helper", duration=5.0)
+    recorder.demand_fetch(30.0, method="B.run")
+    recorder.frame_sent(31.0, kind="UNIT", size=128)
+    recorder.schedule_decision(32.0, action="promote", target="B")
+    return recorder
+
+
+def test_every_helper_emits_a_schema_valid_event():
+    recorder = fully_populated_recorder()
+    for event in recorder.events:
+        validate_event(event)
+    # Every taxonomy name is exercised by the helper set.
+    assert {e.name for e in recorder.events} == set(EVENT_SCHEMA)
+
+
+def test_disabled_recorder_appends_nothing():
+    recorder = TraceRecorder(enabled=False)
+    recorder.unit_arrived(1.0, class_name="A", kind="method", size=1)
+    recorder.method_first_invoke(2.0, method="A.main", latency=2.0)
+    recorder.stall_begin(3.0, method="A.main")
+    recorder.stall_end(4.0, method="A.main", duration=1.0)
+    recorder.demand_fetch(5.0, method="A.main")
+    recorder.frame_sent(6.0, kind="UNIT", size=1)
+    recorder.schedule_decision(7.0, action="promote", target="A")
+    recorder.emit("unit_arrived", 8.0, class_name="A", kind="method", size=1)
+    assert len(recorder) == 0
+    assert recorder.events == []
+
+
+def test_recorder_can_be_re_enabled_mid_run():
+    recorder = TraceRecorder(enabled=False)
+    recorder.frame_sent(1.0, kind="UNIT", size=1)
+    recorder.enabled = True
+    recorder.frame_sent(2.0, kind="UNIT", size=2)
+    assert len(recorder) == 1
+    assert recorder.events[0].ts == 2.0
+
+
+def test_stall_end_emits_instant_and_span():
+    recorder = TraceRecorder()
+    recorder.stall_end(25.0, method="A.helper", duration=5.0)
+    instants = [e for e in recorder.named(STALL_END) if e.phase == "i"]
+    spans = [e for e in recorder.named(STALL_END) if e.phase == "X"]
+    assert len(instants) == 1 and instants[0].ts == 25.0
+    assert len(spans) == 1
+    assert spans[0].ts == 20.0
+    assert spans[0].dur == 5.0
+    assert spans[0].end == 25.0
+
+
+def test_named_and_sorted_events():
+    recorder = TraceRecorder()
+    recorder.frame_sent(5.0, kind="UNIT", size=1)
+    recorder.unit_arrived(2.0, class_name="A", kind="method", size=1)
+    assert [e.name for e in recorder.sorted_events()] == [
+        UNIT_ARRIVED,
+        "frame_sent",
+    ]
+    assert len(recorder.named(UNIT_ARRIVED)) == 1
+
+
+def test_raw_emit_rejects_unknown_names():
+    recorder = TraceRecorder()
+    with pytest.raises(ValueError):
+        recorder.emit("not_a_real_event", 1.0)
+
+
+def test_extra_args_are_allowed_and_kept():
+    recorder = TraceRecorder()
+    recorder.unit_arrived(
+        1.0, class_name="A", kind="method", size=9, method="main"
+    )
+    (event,) = recorder.events
+    validate_event(event)
+    assert event.args["method"] == "main"

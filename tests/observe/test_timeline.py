@@ -1,0 +1,36 @@
+"""ASCII timeline renderer."""
+
+import pytest
+
+from repro.observe import TraceRecorder, render_timeline
+
+
+def test_empty_recorder_renders_placeholder():
+    assert render_timeline(TraceRecorder()) == "(no events)"
+
+
+def test_narrow_width_is_rejected():
+    with pytest.raises(ValueError):
+        render_timeline(TraceRecorder(), width=5)
+
+
+def test_rows_show_arrival_invoke_and_demand_markers():
+    recorder = TraceRecorder()
+    recorder.unit_arrived(0.0, class_name="A", kind="method", size=1, method="main")
+    recorder.method_first_invoke(10.0, method="A.main", latency=10.0)
+    recorder.unit_arrived(50.0, class_name="B", kind="method", size=1, method="run")
+    recorder.demand_fetch(40.0, method="B.run")
+    recorder.method_first_invoke(
+        50.0, method="B.run", latency=50.0, demand_fetched=True
+    )
+    recorder.stall_end(50.0, method="B.run", duration=10.0)
+    text = render_timeline(recorder, width=40)
+    lines = text.splitlines()
+    a_row = next(line for line in lines if line.startswith("A.main"))
+    b_row = next(line for line in lines if line.startswith("B.run"))
+    assert "U" in a_row and "X" in a_row
+    # Demand-fetched first invoke renders as '!' instead of 'X'.
+    assert "!" in b_row
+    stalls = next(line for line in lines if line.startswith("stalls"))
+    assert "s" in stalls
+    assert "U unit arrived" in text  # legend

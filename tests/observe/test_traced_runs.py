@@ -1,0 +1,131 @@
+"""Cross-subsystem acceptance: one taxonomy, two clocks.
+
+A cycle-exact simulated run and a real-socket netserve run of the same
+workload must emit event streams that (a) validate against the shared
+:data:`~repro.observe.EVENT_SCHEMA` and (b) agree with the run's own
+:class:`~repro.core.metrics.InvocationLatencyReport` — the
+``method_first_invoke`` timestamps ARE the report's latencies.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import run_nonstrict
+from repro.netserve import ClassFileServer, fetch_and_run
+from repro.observe import (
+    EVENT_SCHEMA,
+    METHOD_FIRST_INVOKE,
+    TraceRecorder,
+    UNIT_ARRIVED,
+    validate_event,
+)
+from repro.reorder import estimate_first_use
+from repro.transfer import T1_LINK
+from repro.vm import record_run
+from repro.workloads import figure1_program
+
+CPI = 100.0
+
+
+@pytest.fixture()
+def workload():
+    program = figure1_program()
+    _, vm_recorder = record_run(program)
+    return program, vm_recorder.trace
+
+
+def simulated_traced_run(workload):
+    program, trace = workload
+    recorder = TraceRecorder(clock="cycles")
+    order = estimate_first_use(program)
+    result = run_nonstrict(
+        program, trace, order, T1_LINK, CPI, recorder=recorder
+    )
+    return result, recorder
+
+
+def netserve_traced_run(workload):
+    program, trace = workload
+
+    async def scenario():
+        server = ClassFileServer(program, once=True)
+        await server.start()
+        host, port = server.address
+        recorder = TraceRecorder(clock="seconds")
+        try:
+            result, _ = await fetch_and_run(
+                host, port, trace, CPI, recorder=recorder
+            )
+        finally:
+            await server.aclose()
+        return result, recorder
+
+    return asyncio.run(scenario())
+
+
+def assert_stream_conforms(recorder):
+    assert recorder.events, "traced run emitted nothing"
+    for event in recorder.events:
+        validate_event(event)
+    names = {event.name for event in recorder.events}
+    assert UNIT_ARRIVED in names
+    assert METHOD_FIRST_INVOKE in names
+    assert names <= set(EVENT_SCHEMA)
+
+
+def first_invokes(recorder):
+    return {
+        event.args["method"]: event
+        for event in recorder.named(METHOD_FIRST_INVOKE)
+    }
+
+
+def test_simulated_run_emits_conformant_stream(workload):
+    _, recorder = simulated_traced_run(workload)
+    assert_stream_conforms(recorder)
+
+
+def test_netserve_run_emits_conformant_stream(workload):
+    _, recorder = netserve_traced_run(workload)
+    assert_stream_conforms(recorder)
+
+
+def test_simulated_first_invokes_match_latency_report(workload):
+    result, recorder = simulated_traced_run(workload)
+    invokes = first_invokes(recorder)
+    assert len(invokes) == len(result.latencies)
+    for entry in result.latencies.entries:
+        event = invokes[str(entry.method)]
+        assert event.ts == entry.latency
+        assert event.args["latency"] == entry.latency
+        assert event.args["demand_fetched"] == entry.demand_fetched
+
+
+def test_netserve_first_invokes_match_latency_report(workload):
+    result, recorder = netserve_traced_run(workload)
+    invokes = first_invokes(recorder)
+    assert len(invokes) == len(result.latencies)
+    for entry in result.latencies.entries:
+        event = invokes[str(entry.method)]
+        assert event.ts == entry.latency
+        assert event.args["latency"] == entry.latency
+
+
+def test_both_modes_share_one_event_schema(workload):
+    """The acceptance criterion: simulated and measured streams are
+    directly comparable — same names, same per-name arg shape, only the
+    clock differs."""
+    _, simulated = simulated_traced_run(workload)
+    _, measured = netserve_traced_run(workload)
+    assert simulated.clock == "cycles"
+    assert measured.clock == "seconds"
+    shared = {e.name for e in simulated.events} & {
+        e.name for e in measured.events
+    }
+    assert UNIT_ARRIVED in shared and METHOD_FIRST_INVOKE in shared
+    for name in shared:
+        required = set(EVENT_SCHEMA[name])
+        for stream in (simulated, measured):
+            for event in stream.named(name):
+                assert required <= set(event.args)

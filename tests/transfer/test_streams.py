@@ -108,7 +108,7 @@ def test_demand_fetch_mid_run_jumps_whole_waiting_queue():
 def test_promote_moves_waiting_stream_forward():
     engine = StreamEngine(LINK, max_streams=1)
     engine.request_stream("a", [unit("a", 100)])
-    b_stream = engine.request_stream("b", [unit("b", 100)])
+    engine.request_stream("b", [unit("b", 100)])
     c_stream = engine.request_stream("c", [unit("c", 100)])
     engine.promote(c_stream)
     engine.run_until(1000)

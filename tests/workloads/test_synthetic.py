@@ -5,7 +5,6 @@ import pytest
 from repro.classfile import class_layout, deserialize, serialize
 from repro.datapart import partition_program
 from repro.linker import verify_class
-from repro.program import MethodId
 from repro.reorder import estimate_first_use
 from repro.workloads.spec import PAPER_BENCHMARKS
 from repro.workloads.synthetic import generate_workload
