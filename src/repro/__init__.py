@@ -37,11 +37,13 @@ from .core import (
     strict_baseline,
 )
 from .errors import ReproError
+from .faults import FaultPlan
 from .lang import compile_source
 from .netserve import (
     ClassFileServer,
     NetworkRunResult,
     NonStrictFetcher,
+    ResilientFetcher,
     fetch_and_run,
     run_networked,
 )
@@ -68,9 +70,11 @@ from .reorder import (
 from .transfer import (
     MODEM_LINK,
     T1_LINK,
+    LossyLink,
     NetworkLink,
     TransferPolicy,
     link_from_bandwidth,
+    lossy_link,
 )
 from .vm import (
     ExecutionTrace,
@@ -96,8 +100,10 @@ __all__ = [
     "InvocationLatencyReport",
     "MethodInvocationLatency",
     "ClassFileServer",
+    "FaultPlan",
     "NetworkRunResult",
     "NonStrictFetcher",
+    "ResilientFetcher",
     "fetch_and_run",
     "run_networked",
     "SimulationResult",
@@ -130,9 +136,11 @@ __all__ = [
     "split_method",
     "MODEM_LINK",
     "T1_LINK",
+    "LossyLink",
     "NetworkLink",
     "TransferPolicy",
     "link_from_bandwidth",
+    "lossy_link",
     "ExecutionTrace",
     "FirstUseProfile",
     "TraceRecorder",

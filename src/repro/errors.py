@@ -68,8 +68,39 @@ class TruncatedFrameError(ProtocolError):
     """A frame ended before its declared length (more bytes needed)."""
 
 
+class StreamDecodeError(ProtocolError):
+    """Mid-stream decoding failed, with unit context attached.
+
+    Wraps a lower-level :class:`ProtocolError` so the caller learns
+    *where* in the unit stream decoding broke: the most recent
+    successfully decoded unit (if any) and the stream byte offset at
+    which the failing frame began.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        class_name: "str | None" = None,
+        method_name: "str | None" = None,
+        byte_offset: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.class_name = class_name
+        self.method_name = method_name
+        self.byte_offset = byte_offset
+
+
 class ConnectionLostError(TransferError):
     """The peer disappeared mid-stream (reset, abort, or silent close)."""
+
+
+class ResilienceExhaustedError(TransferError):
+    """Every recovery path failed: reconnects, resume, and the strict
+    whole-file fallback."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan is malformed or self-contradictory."""
 
 
 class SimulationError(ReproError):

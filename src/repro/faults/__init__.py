@@ -1,0 +1,27 @@
+"""repro.faults — deterministic seeded fault injection.
+
+The paper's premise is that mobile-code links are slow *and
+unreliable*; this package makes the unreliability reproducible.  A
+:class:`FaultPlan` is a pure-literal, seeded script of link
+misbehaviour (cuts, corruption, drops, duplicates, stalls, jitter)
+that plugs into :class:`repro.netserve.ClassFileServer`; the matching
+lossy-link model for the cycle-exact simulator lives in
+:func:`repro.transfer.lossy_link`.  The resilient client that survives
+every injectable fault is :class:`repro.netserve.ResilientFetcher`.
+"""
+
+from .injector import (
+    ConnectionFaults,
+    FaultInjector,
+    FrameDirective,
+    InjectedFault,
+)
+from .plan import FaultPlan
+
+__all__ = [
+    "ConnectionFaults",
+    "FaultInjector",
+    "FaultPlan",
+    "FrameDirective",
+    "InjectedFault",
+]

@@ -1,0 +1,188 @@
+"""Turns a :class:`~repro.faults.plan.FaultPlan` into per-frame directives.
+
+The server asks its connection's :class:`ConnectionFaults` for one
+:class:`FrameDirective` per outgoing frame; the directive says exactly
+what to do with those wire bytes (delay them, drop them, flip a byte,
+send twice, or sever the connection partway through).  All randomness
+comes from one RNG seeded by ``(plan.seed, connection index)``, so a
+fixed plan replays the same directive stream every run.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Set, Tuple
+
+from .plan import FaultPlan
+
+__all__ = [
+    "InjectedFault",
+    "FrameDirective",
+    "ConnectionFaults",
+    "FaultInjector",
+]
+
+#: Wire-frame header size.  Mirrors ``repro.netserve.protocol._HEADER``
+#: (magic u16, version u8, kind u8, body length u32) — importing it
+#: would make faults depend on netserve, which depends back on faults.
+#: Corruption offsets start past the header so a flipped byte fails the
+#: CRC instead of destroying the framing.
+_HEADER_BYTES = struct.Struct(">HBBI").size
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector decided to apply.
+
+    Attributes:
+        kind: ``"cut"``, ``"corrupt"``, ``"drop"``, ``"duplicate"``,
+            or ``"stall"``.
+        detail: Fault-specific number — byte offset for cuts, frame
+            index for corrupt/drop/duplicate, seconds for stalls.
+    """
+
+    kind: str
+    detail: float
+
+
+@dataclass(frozen=True)
+class FrameDirective:
+    """What to do with one outgoing frame's bytes.
+
+    Attributes:
+        frame_index: Post-negotiation frame counter (0-based).
+        delay_seconds: Sleep this long before touching the socket.
+        drop: Discard the frame without sending anything.
+        corrupt_offset: Flip the byte at this offset before sending.
+        copies: How many times to send the frame (2 = duplicate).
+        cut_at: Sever the connection after sending this many bytes of
+            the frame (0 = send nothing, then sever).
+        faults: The faults this directive embodies, for events/stats.
+    """
+
+    frame_index: int
+    delay_seconds: float = 0.0
+    drop: bool = False
+    corrupt_offset: Optional[int] = None
+    copies: int = 1
+    cut_at: Optional[int] = None
+    faults: Tuple[InjectedFault, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.faults and self.delay_seconds == 0.0
+
+
+@dataclass
+class ConnectionFaults:
+    """Per-connection fault state: one plan instantiated for one socket."""
+
+    plan: FaultPlan
+    index: int
+    _rng: random.Random = field(init=False, repr=False)
+    _frame_index: int = field(init=False, default=0)
+    _bytes_sent: int = field(init=False, default=0)
+    _cut_bytes: Optional[int] = field(init=False, default=None)
+    _cut_frame: Optional[int] = field(init=False, default=None)
+    _corrupt: Set[int] = field(init=False, default_factory=set)
+    _drop: Set[int] = field(init=False, default_factory=set)
+    _duplicate: Set[int] = field(init=False, default_factory=set)
+
+    def __post_init__(self) -> None:
+        plan = self.plan
+        self._rng = random.Random(plan.seed * 1_000_003 + self.index)
+        if self.index < len(plan.cut_after_bytes):
+            self._cut_bytes = plan.cut_after_bytes[self.index]
+        if self.index < len(plan.cut_after_frames):
+            self._cut_frame = plan.cut_after_frames[self.index]
+        self._corrupt = set(plan.corrupt_frames)
+        self._drop = set(plan.drop_frames)
+        self._duplicate = set(plan.duplicate_frames)
+
+    def _corrupt_offset(self, frame_length: int) -> Optional[int]:
+        """A seeded offset inside the frame's body+CRC region."""
+        if frame_length <= _HEADER_BYTES:
+            return None
+        return self._rng.randrange(_HEADER_BYTES, frame_length)
+
+    def next_directive(self, frame_length: int) -> FrameDirective:
+        """Decide the fate of the next ``frame_length``-byte frame."""
+        plan = self.plan
+        index = self._frame_index
+        self._frame_index += 1
+        faults = []
+        delay = 0.0
+        if plan.stall_before_frame == index and plan.stall_seconds > 0:
+            delay += plan.stall_seconds
+            faults.append(InjectedFault("stall", plan.stall_seconds))
+        if plan.jitter_seconds > 0:
+            delay += self._rng.uniform(0.0, plan.jitter_seconds)
+
+        cut_at: Optional[int] = None
+        if self._cut_frame is not None and index >= self._cut_frame:
+            cut_at = 0
+            faults.append(InjectedFault("cut", self._bytes_sent))
+        elif (
+            self._cut_bytes is not None
+            and self._bytes_sent + frame_length > self._cut_bytes
+        ):
+            cut_at = self._cut_bytes - self._bytes_sent
+            faults.append(InjectedFault("cut", self._cut_bytes))
+
+        drop = False
+        corrupt_offset: Optional[int] = None
+        copies = 1
+        if cut_at is None:
+            if index in self._drop or (
+                plan.drop_probability > 0
+                and self._rng.random() < plan.drop_probability
+            ):
+                self._drop.discard(index)
+                drop = True
+                faults.append(InjectedFault("drop", index))
+            elif index in self._corrupt:
+                self._corrupt.discard(index)
+                corrupt_offset = self._corrupt_offset(frame_length)
+                if corrupt_offset is not None:
+                    faults.append(InjectedFault("corrupt", index))
+            elif index in self._duplicate:
+                self._duplicate.discard(index)
+                copies = 2
+                faults.append(InjectedFault("duplicate", index))
+            if not drop:
+                self._bytes_sent += frame_length * copies
+
+        return FrameDirective(
+            frame_index=index,
+            delay_seconds=delay,
+            drop=drop,
+            corrupt_offset=corrupt_offset,
+            copies=copies,
+            cut_at=cut_at,
+            faults=tuple(faults),
+        )
+
+
+class FaultInjector:
+    """Hands out per-connection fault state for one server.
+
+    Connections are numbered in accept order; that number picks the
+    connection's cut point (if any) and seeds its RNG, so the whole
+    server-side fault sequence is a pure function of the plan.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._connections = 0
+
+    @property
+    def connections_seen(self) -> int:
+        return self._connections
+
+    def connection(self) -> ConnectionFaults:
+        """Fault state for the next accepted connection."""
+        index = self._connections
+        self._connections += 1
+        return ConnectionFaults(plan=self.plan, index=index)

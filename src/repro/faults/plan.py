@@ -1,0 +1,146 @@
+"""Declarative, seeded fault-injection plans.
+
+A :class:`FaultPlan` is a *pure-literal* specification of how a link
+should misbehave: which connections get cut and where, which frames get
+corrupted, dropped, or duplicated, how much jitter and stall to add.
+Because it is a frozen value object with an explicit ``seed``, the same
+plan always produces the same fault sequence — chaos tests are exactly
+as reproducible as clean ones.
+
+Index-based fields (``corrupt_frames``, ``drop_frames``,
+``duplicate_frames``, ``stall_before_frame``) count frames sent after
+session negotiation, per connection, starting at 0 (the EOF frame is a
+frame like any other).  ``cut_after_bytes`` / ``cut_after_frames`` are
+consumed one entry per connection in accept order: entry ``i`` cuts the
+server's ``i``-th connection, and connections beyond the list run
+clean — which is what lets a resumed or degraded session complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..errors import FaultPlanError
+
+__all__ = ["FaultPlan"]
+
+
+def _as_int_tuple(name: str, value: Any) -> Tuple[int, ...]:
+    try:
+        items = tuple(int(item) for item in value)
+    except (TypeError, ValueError) as exc:
+        raise FaultPlanError(
+            f"{name} must be a sequence of integers, got {value!r}"
+        ) from exc
+    for item in items:
+        if item < 0:
+            raise FaultPlanError(f"{name} entries must be >= 0: {item}")
+    return items
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic misbehaviour script for a server's link.
+
+    Attributes:
+        seed: Seeds every probabilistic choice (jitter, drop lottery,
+            corruption offsets).  Identical seed ⇒ identical faults.
+        cut_after_bytes: Per-connection wire-byte offsets (post
+            negotiation) at which the connection is severed; entry
+            ``i`` applies to connection ``i``, later connections run
+            clean.
+        cut_after_frames: Per-connection frame counts after which the
+            connection is severed (same consumption rule).
+        corrupt_frames: Frame indices whose body gets one byte flipped
+            (each index fires once per connection).
+        drop_frames: Frame indices silently discarded.
+        duplicate_frames: Frame indices sent twice.
+        drop_probability: Independent per-frame drop chance in
+            ``[0, 1)``, drawn from the seeded RNG — the netserve twin
+            of the simulator's lossy-link sweep.
+        jitter_seconds: Upper bound on uniform per-frame extra latency.
+        stall_before_frame: Frame index before which the sender stalls.
+        stall_seconds: Length of that stall (a frozen token bucket).
+    """
+
+    seed: int = 0
+    cut_after_bytes: Tuple[int, ...] = ()
+    cut_after_frames: Tuple[int, ...] = ()
+    corrupt_frames: Tuple[int, ...] = ()
+    drop_frames: Tuple[int, ...] = ()
+    duplicate_frames: Tuple[int, ...] = ()
+    drop_probability: float = 0.0
+    jitter_seconds: float = 0.0
+    stall_before_frame: Optional[int] = None
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cut_after_bytes",
+            "cut_after_frames",
+            "corrupt_frames",
+            "drop_frames",
+            "duplicate_frames",
+        ):
+            object.__setattr__(
+                self, name, _as_int_tuple(name, getattr(self, name))
+            )
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise FaultPlanError(
+                f"drop_probability must be in [0, 1): "
+                f"{self.drop_probability}"
+            )
+        if self.jitter_seconds < 0:
+            raise FaultPlanError(
+                f"jitter_seconds must be >= 0: {self.jitter_seconds}"
+            )
+        if self.stall_seconds < 0:
+            raise FaultPlanError(
+                f"stall_seconds must be >= 0: {self.stall_seconds}"
+            )
+        if self.stall_before_frame is not None and (
+            self.stall_before_frame < 0
+        ):
+            raise FaultPlanError(
+                f"stall_before_frame must be >= 0: "
+                f"{self.stall_before_frame}"
+            )
+        if self.stall_before_frame is not None and not self.stall_seconds:
+            raise FaultPlanError(
+                "stall_before_frame is set but stall_seconds is 0"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (
+            self.cut_after_bytes
+            or self.cut_after_frames
+            or self.corrupt_frames
+            or self.drop_frames
+            or self.duplicate_frames
+            or self.drop_probability
+            or self.jitter_seconds
+            or self.stall_before_frame is not None
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (tuples become lists)."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON-decoded mapping (e.g. a CLI arg)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault plan fields {unknown}; known: "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))

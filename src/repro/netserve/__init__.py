@@ -8,6 +8,7 @@ priority, so the model can be validated against wall-clock transfers.
 
 from .bridge import NetworkRunResult, fetch_and_run, run_networked
 from .client import NonStrictFetcher
+from .resilient import ResilientFetcher
 from .payloads import (
     DELIMITER_FILLER,
     build_class_payloads,
@@ -28,7 +29,13 @@ from .protocol import (
     hello_ack_frame,
     hello_frame,
     read_frame,
+    read_raw_frame,
+    resume_ack_frame,
+    resume_frame,
+    salvage_unit_key,
     unit_frame,
+    unit_kind_from_code,
+    unit_wire_key,
 )
 from .server import REORDER_STRATEGIES, ClassFileServer, TokenBucket
 from .stats import (
@@ -43,6 +50,7 @@ __all__ = [
     "fetch_and_run",
     "run_networked",
     "NonStrictFetcher",
+    "ResilientFetcher",
     "DELIMITER_FILLER",
     "build_class_payloads",
     "build_program_payloads",
@@ -60,7 +68,13 @@ __all__ = [
     "hello_ack_frame",
     "hello_frame",
     "read_frame",
+    "read_raw_frame",
+    "resume_ack_frame",
+    "resume_frame",
+    "salvage_unit_key",
     "unit_frame",
+    "unit_kind_from_code",
+    "unit_wire_key",
     "REORDER_STRATEGIES",
     "ClassFileServer",
     "TokenBucket",

@@ -28,6 +28,7 @@ from ..core.simulation import StallEvent
 from ..transfer import CPU_HZ
 from ..vm import ExecutionTrace
 from .client import NonStrictFetcher
+from .resilient import ResilientFetcher
 from .stats import FetchStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +51,10 @@ class NetworkRunResult:
         stalls: Every stall, in order (seconds, session-relative).
         demand_fetches: Mispredict corrections issued.
         bytes_received: Wire bytes received by session end.
+        reconnects: Resume reconnects the fetcher needed (resilient
+            sessions only; 0 on a clean link).
+        degraded: True when the fetch fell back to a one-shot strict
+            transfer after exhausting its reconnect budget.
     """
 
     wall_seconds: float
@@ -60,6 +65,8 @@ class NetworkRunResult:
     stalls: List[StallEvent] = field(default_factory=list)
     demand_fetches: int = 0
     bytes_received: int = 0
+    reconnects: int = 0
+    degraded: bool = False
 
     @property
     def stall_count(self) -> int:
@@ -157,6 +164,8 @@ async def run_networked(
         stalls=stalls,
         demand_fetches=fetcher.stats.demand_fetches,
         bytes_received=fetcher.stats.bytes_received,
+        reconnects=fetcher.stats.reconnects,
+        degraded=bool(fetcher.stats.degraded),
     )
 
 
@@ -169,17 +178,41 @@ async def fetch_and_run(
     strategy: str = "static",
     cpu_hz: float = float(CPU_HZ),
     demand_timeout: float = 5.0,
+    connect_timeout: Optional[float] = 10.0,
+    max_reconnects: Optional[int] = None,
+    deadline: Optional[float] = None,
     recorder: Optional["TraceRecorder"] = None,
 ) -> "tuple[NetworkRunResult, FetchStats]":
-    """Connect, replay a trace, close; the one-call convenience path."""
-    fetcher = NonStrictFetcher(
-        host,
-        port,
-        policy=policy,
-        strategy=strategy,
-        demand_timeout=demand_timeout,
-        recorder=recorder,
-    )
+    """Connect, replay a trace, close; the one-call convenience path.
+
+    Passing ``max_reconnects`` or ``deadline`` selects the
+    :class:`ResilientFetcher` (reconnect + resume + strict fallback);
+    otherwise the plain :class:`NonStrictFetcher` is used.
+    """
+    if max_reconnects is not None or deadline is not None:
+        fetcher: NonStrictFetcher = ResilientFetcher(
+            host,
+            port,
+            policy=policy,
+            strategy=strategy,
+            demand_timeout=demand_timeout,
+            connect_timeout=connect_timeout,
+            max_reconnects=(
+                max_reconnects if max_reconnects is not None else 4
+            ),
+            deadline=deadline,
+            recorder=recorder,
+        )
+    else:
+        fetcher = NonStrictFetcher(
+            host,
+            port,
+            policy=policy,
+            strategy=strategy,
+            demand_timeout=demand_timeout,
+            connect_timeout=connect_timeout,
+            recorder=recorder,
+        )
     await fetcher.connect()
     try:
         result = await run_networked(

@@ -20,15 +20,26 @@ import asyncio
 import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from ..errors import ConnectionLostError, ProtocolError, TransferError
+from ..errors import (
+    ConnectionLostError,
+    FrameCorruptionError,
+    ProtocolError,
+    StreamDecodeError,
+    TransferError,
+)
 from ..program import MethodId
 from ..transfer import TransferUnit, UnitKind
 from .protocol import (
+    Frame,
     FrameKind,
+    decode_frame,
     demand_fetch_frame,
     encode_frame,
     hello_frame,
     read_frame,
+    read_raw_frame,
+    salvage_unit_key,
+    unit_wire_key,
 )
 from .stats import FetchStats
 
@@ -51,6 +62,11 @@ class NonStrictFetcher:
             retrying the ``DEMAND_FETCH``.
         demand_retries: Demand attempts before giving up with a
             :class:`~repro.errors.TransferError`.
+        connect_timeout: Seconds allowed for the whole session
+            handshake — TCP connect, HELLO, and the server's ack.  A
+            server that accepts but never answers surfaces as a typed
+            :class:`~repro.errors.ConnectionLostError`, never a hang.
+            ``None`` disables the limit.
         recorder: Optional :class:`repro.observe.TraceRecorder` (clock
             ``"seconds"``); arrivals and demand fetches are emitted as
             events timestamped in seconds since the session started.
@@ -64,6 +80,7 @@ class NonStrictFetcher:
         strategy: str = "static",
         demand_timeout: float = 5.0,
         demand_retries: int = 3,
+        connect_timeout: Optional[float] = 10.0,
         recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.host = host
@@ -72,6 +89,7 @@ class NonStrictFetcher:
         self.strategy = strategy
         self.demand_timeout = demand_timeout
         self.demand_retries = demand_retries
+        self.connect_timeout = connect_timeout
         self.recorder = recorder
         self.stats = FetchStats(policy=policy, strategy=strategy)
         self.manifest: Dict = {}
@@ -81,6 +99,9 @@ class NonStrictFetcher:
         self.buffers: Dict[str, List[Tuple[TransferUnit, bytes]]] = {}
         self._method_arrivals: Dict[MethodId, float] = {}
         self._classes_complete: Set[str] = set()
+        #: Wire keys of units held intact (resume/duplicate filtering).
+        self._received_keys: Set[Tuple[int, str, Optional[str]]] = set()
+        self._wire_bytes = 0
         self._demanded: Set[MethodId] = set()
         self._events: Dict[MethodId, asyncio.Event] = {}
         self._eof = asyncio.Event()
@@ -92,26 +113,56 @@ class NonStrictFetcher:
 
     # -- lifecycle --------------------------------------------------------
 
-    async def connect(self) -> Dict:
-        """Open the connection and negotiate; returns the manifest."""
-        try:
-            self._reader, self._writer = await asyncio.open_connection(
+    async def _open_and_negotiate(self, greeting: Frame) -> Frame:
+        """Dial the server, send ``greeting``, return its ack frame.
+
+        The whole handshake — TCP connect, greeting write, ack read —
+        runs under ``connect_timeout``; on success ``self._reader`` /
+        ``self._writer`` point at the new connection.
+        """
+        opened: Dict[str, asyncio.StreamWriter] = {}
+
+        async def _dial() -> Tuple[
+            asyncio.StreamReader, asyncio.StreamWriter, Frame
+        ]:
+            reader, writer = await asyncio.open_connection(
                 self.host, self.port
             )
+            opened["writer"] = writer
+            writer.write(encode_frame(greeting))
+            await writer.drain()
+            return reader, writer, await read_frame(reader)
+
+        try:
+            reader, writer, ack = await asyncio.wait_for(
+                _dial(), timeout=self.connect_timeout
+            )
+        except asyncio.TimeoutError as error:
+            leaked = opened.get("writer")
+            if leaked is not None:
+                leaked.close()
+            raise ConnectionLostError(
+                f"connect to {self.host}:{self.port} timed out after "
+                f"{self.connect_timeout:.1f}s"
+            ) from error
         except OSError as error:
             raise ConnectionLostError(
                 f"cannot connect to {self.host}:{self.port}: {error}"
             ) from error
-        self._writer.write(
-            encode_frame(hello_frame(self.policy, self.strategy))
-        )
-        await self._writer.drain()
-        ack = await read_frame(self._reader)
         if ack.kind == FrameKind.ERROR:
+            writer.close()
             raise ProtocolError(
                 f"server rejected session: "
                 f"{ack.field_dict.get('message')}"
             )
+        self._reader, self._writer = reader, writer
+        return ack
+
+    async def connect(self) -> Dict:
+        """Open the connection and negotiate; returns the manifest."""
+        ack = await self._open_and_negotiate(
+            hello_frame(self.policy, self.strategy)
+        )
         if ack.kind != FrameKind.HELLO_ACK:
             raise ProtocolError(
                 f"expected HELLO_ACK, got {ack.kind.name}"
@@ -157,6 +208,7 @@ class NonStrictFetcher:
     def _record_unit(self, unit: TransferUnit, payload: bytes) -> None:
         now = self.elapsed()
         self.unit_log.append((unit, now))
+        self._received_keys.add(unit_wire_key(unit))
         if self.recorder is not None:
             self.recorder.unit_arrived(
                 now,
@@ -167,9 +219,16 @@ class NonStrictFetcher:
                     unit.method.method_name if unit.method else None
                 ),
             )
-        self.buffers.setdefault(unit.class_name, []).append(
-            (unit, payload)
-        )
+        if unit.kind == UnitKind.CLASS_FILE:
+            # A whole-class unit supersedes any partial units for that
+            # class (the strict-degradation path re-sends whole files);
+            # replace rather than append so class_bytes never
+            # double-counts.
+            self.buffers[unit.class_name] = [(unit, payload)]
+        else:
+            self.buffers.setdefault(unit.class_name, []).append(
+                (unit, payload)
+            )
         if unit.kind == UnitKind.METHOD and unit.method is not None:
             self._method_arrivals.setdefault(unit.method, now)
             self._event_for(unit.method).set()
@@ -182,16 +241,43 @@ class NonStrictFetcher:
                     self._method_arrivals.setdefault(method_id, now)
                     event.set()
 
+    def _handle_unit_frame(self, frame: Frame) -> None:
+        assert frame.unit is not None
+        self.stats.record_unit(len(frame.payload))
+        self._record_unit(frame.unit, frame.payload)
+
+    def _decode_error(
+        self, raw: bytes, error: FrameCorruptionError
+    ) -> StreamDecodeError:
+        """Attach unit context to a mid-stream decode failure."""
+        key = salvage_unit_key(raw)
+        unit = (
+            f" while decoding unit {key[1]}"
+            + (f".{key[2]}" if key[2] else "")
+            if key
+            else ""
+        )
+        return StreamDecodeError(
+            f"stream decode failed at byte {self._wire_bytes}"
+            f"{unit}: {error}",
+            class_name=key[1] if key else None,
+            method_name=key[2] if key else None,
+            byte_offset=self._wire_bytes,
+        )
+
     async def _receive_loop(self) -> None:
         assert self._reader is not None
         try:
             while True:
-                frame = await read_frame(self._reader)
+                raw = await read_raw_frame(self._reader)
+                try:
+                    frame, _ = decode_frame(raw)
+                except FrameCorruptionError as error:
+                    raise self._decode_error(raw, error) from error
+                self._wire_bytes += len(raw)
                 self.stats.record_frame(frame.wire_size)
                 if frame.kind == FrameKind.UNIT:
-                    assert frame.unit is not None
-                    self.stats.record_unit(len(frame.payload))
-                    self._record_unit(frame.unit, frame.payload)
+                    self._handle_unit_frame(frame)
                 elif frame.kind == FrameKind.EOF:
                     self._eof.set()
                     return
@@ -264,20 +350,27 @@ class NonStrictFetcher:
         )
         return self.arrival_time(method_id)
 
+    async def _send_demand_frame(self, frame: Frame) -> None:
+        """Put a client->server frame on the wire, typed on failure."""
+        assert self._writer is not None
+        try:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            raise ConnectionLostError(
+                f"demand channel lost: {error}"
+            ) from error
+
     async def _demand(
         self, method_id: MethodId, event: asyncio.Event
     ) -> None:
-        assert self._writer is not None
         self._demanded.add(method_id)
         for attempt in range(self.demand_retries):
-            self._writer.write(
-                encode_frame(
-                    demand_fetch_frame(
-                        method_id.class_name, method_id.method_name
-                    )
+            await self._send_demand_frame(
+                demand_fetch_frame(
+                    method_id.class_name, method_id.method_name
                 )
             )
-            await self._writer.drain()
             self.stats.record_demand_fetch()
             if self.recorder is not None:
                 self.recorder.demand_fetch(

@@ -9,8 +9,9 @@ Every message is a *frame*::
     ...  body
     u32  CRC32 of the body
 
-Control frames (``HELLO``, ``HELLO_ACK``, ``DEMAND_FETCH``, ``ERROR``)
-carry a UTF-8 JSON object as their body; ``EOF`` has an empty body.  A
+Control frames (``HELLO``, ``HELLO_ACK``, ``DEMAND_FETCH``, ``ERROR``,
+``RESUME``, ``RESUME_ACK``) carry a UTF-8 JSON object as their body;
+``EOF`` has an empty body.  A
 ``UNIT`` frame carries one :class:`~repro.transfer.TransferUnit` plus
 its payload bytes::
 
@@ -36,7 +37,7 @@ import json
 import struct
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from ..errors import (
     ConnectionLostError,
@@ -58,11 +59,18 @@ __all__ = [
     "hello_ack_frame",
     "unit_frame",
     "demand_fetch_frame",
+    "resume_frame",
+    "resume_ack_frame",
     "error_frame",
     "eof_frame",
     "encode_frame",
     "decode_frame",
     "read_frame",
+    "read_raw_frame",
+    "salvage_unit_key",
+    "unit_kind_code",
+    "unit_kind_from_code",
+    "unit_wire_key",
 ]
 
 MAGIC = 0x524E  # "RN"
@@ -92,6 +100,8 @@ class FrameKind(enum.IntEnum):
     DEMAND_FETCH = 4  # client -> server: mispredict correction
     ERROR = 5  # either direction: fatal, typed message
     EOF = 6  # server -> client: stream complete
+    RESUME = 7  # client -> server: resume a session, skipping held units
+    RESUME_ACK = 8  # server -> client: accepted resume + remaining manifest
 
 
 _UNIT_KIND_CODES: Dict[UnitKind, int] = {
@@ -102,6 +112,32 @@ _UNIT_KIND_CODES: Dict[UnitKind, int] = {
     UnitKind.GLOBAL_UNUSED: 5,
 }
 _UNIT_KINDS_BY_CODE = {code: kind for kind, code in _UNIT_KIND_CODES.items()}
+
+
+def unit_kind_from_code(code: int) -> UnitKind:
+    """Wire code back to a :class:`~repro.transfer.UnitKind`."""
+    kind = _UNIT_KINDS_BY_CODE.get(code)
+    if kind is None:
+        raise FrameCorruptionError(f"unknown unit kind code {code}")
+    return kind
+
+
+def unit_kind_code(kind: UnitKind) -> int:
+    """A :class:`~repro.transfer.UnitKind`'s wire code."""
+    return _UNIT_KIND_CODES[kind]
+
+
+def unit_wire_key(unit: TransferUnit) -> Tuple[int, str, Optional[str]]:
+    """A unit's stable wire identity: (kind code, class, method).
+
+    This is what RESUME's ``have`` set and the duplicate filter use, so
+    the same unit is recognized across reconnects and re-sends.
+    """
+    return (
+        _UNIT_KIND_CODES[unit.kind],
+        unit.class_name,
+        unit.method.method_name if unit.method is not None else None,
+    )
 
 
 @dataclass(frozen=True)
@@ -158,13 +194,57 @@ def unit_frame(unit: TransferUnit, payload: bytes) -> Frame:
 
 
 def demand_fetch_frame(
-    class_name: str, method_name: Optional[str] = None
+    class_name: str,
+    method_name: Optional[str] = None,
+    *,
+    kind: Optional[UnitKind] = None,
+    resend: bool = False,
 ) -> Frame:
-    """Client mispredict correction: prioritize this class/method."""
-    return _json_frame(
-        FrameKind.DEMAND_FETCH,
-        {"class": class_name, "method": method_name},
+    """Client mispredict correction: prioritize this class/method.
+
+    With ``resend=True`` the server also re-enqueues matching units it
+    already sent — the recovery path for a unit whose frame arrived
+    damaged.  ``kind`` narrows a resend to one unit kind so a single
+    corrupted frame costs exactly one re-transmission.
+    """
+    fields: Dict[str, Any] = {"class": class_name, "method": method_name}
+    if kind is not None:
+        fields["kind"] = _UNIT_KIND_CODES[kind]
+    if resend:
+        fields["resend"] = True
+    return _json_frame(FrameKind.DEMAND_FETCH, fields)
+
+
+def resume_frame(
+    policy: str,
+    strategy: str = "static",
+    have: Iterable[Tuple[int, str, Optional[str]]] = (),
+    **extra: Any,
+) -> Frame:
+    """Client reconnect: negotiate like HELLO, but skip held units.
+
+    ``have`` is an iterable of unit wire keys (:func:`unit_wire_key`)
+    the client already holds intact; the server filters them out of the
+    resumed stream.
+    """
+    have_list = sorted(
+        ([int(code), cls, method] for code, cls, method in have),
+        key=lambda key: (key[0], key[1], key[2] or ""),
     )
+    return _json_frame(
+        FrameKind.RESUME,
+        {
+            "policy": policy,
+            "strategy": strategy,
+            "have": have_list,
+            **extra,
+        },
+    )
+
+
+def resume_ack_frame(**fields: Any) -> Frame:
+    """Server acceptance of a resume: config plus *remaining* manifest."""
+    return _json_frame(FrameKind.RESUME_ACK, fields)
 
 
 def error_frame(message: str) -> Frame:
@@ -351,19 +431,28 @@ def decode_frame(data: bytes, offset: int = 0) -> Tuple[Frame, int]:
     return _decode_validated(kind_code, body, end - offset), end
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Frame:
-    """Read exactly one frame from an asyncio stream.
+async def read_raw_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame's complete wire bytes, deferring validation.
+
+    Only the framing itself is checked here (magic, version, sane body
+    length) — enough to know how many bytes to pull off the stream.
+    CRC and body validation happen in :func:`decode_frame`, so a caller
+    that wants to *salvage* a damaged frame (see
+    :func:`salvage_unit_key`) still gets the bytes.
 
     Raises:
         ConnectionLostError: If the peer closed or reset mid-frame (or
             before a frame started).
-        FrameCorruptionError: If the frame fails validation.
+        FrameCorruptionError: If the framing is unreadable — there is
+            no way to find the next frame boundary after this.
     """
     try:
         header = await reader.readexactly(_HEADER.size)
         magic, version, kind_code, body_len = _HEADER.unpack(header)
         if magic != MAGIC:
             raise FrameCorruptionError(f"bad magic 0x{magic:04x}")
+        if version != PROTOCOL_VERSION:
+            raise FrameCorruptionError(f"unsupported protocol v{version}")
         if body_len > MAX_BODY_BYTES:
             raise FrameCorruptionError(
                 f"declared body of {body_len} bytes exceeds the "
@@ -376,5 +465,57 @@ async def read_frame(reader: asyncio.StreamReader) -> Frame:
         ) from exc
     except (ConnectionError, OSError) as exc:
         raise ConnectionLostError(f"connection lost: {exc}") from exc
-    frame, _ = decode_frame(header + rest)
+    return header + rest
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame:
+    """Read exactly one validated frame from an asyncio stream.
+
+    Raises:
+        ConnectionLostError: If the peer closed or reset mid-frame (or
+            before a frame started).
+        FrameCorruptionError: If the frame fails validation.
+    """
+    frame, _ = decode_frame(await read_raw_frame(reader))
     return frame
+
+
+def salvage_unit_key(
+    data: bytes,
+) -> Optional[Tuple[int, str, Optional[str]]]:
+    """Best-effort unit wire key from a possibly corrupt UNIT frame.
+
+    A single flipped payload byte fails the CRC but leaves the header
+    and the short name prefix intact, and that prefix names exactly
+    which unit was damaged — enough for the client to re-request that
+    one unit instead of tearing the connection down.  Returns ``None``
+    whenever the needed bytes are themselves unreadable.
+    """
+    try:
+        magic, _version, kind_code, body_len = _HEADER.unpack_from(data, 0)
+        if magic != MAGIC or kind_code != int(FrameKind.UNIT):
+            return None
+        body = data[_HEADER.size : _HEADER.size + body_len]
+        offset = 0
+        (unit_kind_code,) = _U8.unpack_from(body, offset)
+        offset += _U8.size
+        (class_len,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        if offset + class_len > len(body):
+            return None
+        class_name = body[offset : offset + class_len].decode("utf-8")
+        offset += class_len
+        (method_len,) = _U16.unpack_from(body, offset)
+        offset += _U16.size
+        if offset + method_len > len(body):
+            return None
+        method_name = (
+            body[offset : offset + method_len].decode("utf-8")
+            if method_len
+            else None
+        )
+    except (struct.error, UnicodeDecodeError):
+        return None
+    if unit_kind_code not in _UNIT_KINDS_BY_CODE:
+        return None
+    return (unit_kind_code, class_name, method_name)

@@ -1,0 +1,415 @@
+"""The resilient non-strict fetch client.
+
+:class:`ResilientFetcher` extends :class:`.client.NonStrictFetcher`
+with every recovery the fault layer (:mod:`repro.faults`) can demand:
+
+* **Reconnect with resume** — a severed connection triggers capped
+  exponential backoff (with seeded jitter) and a ``RESUME`` handshake
+  carrying the wire keys of every unit already held intact, so the
+  server re-sends only what was lost.
+* **Targeted unit retry** — a frame that fails its CRC but still names
+  its unit (see :func:`.protocol.salvage_unit_key`) is re-requested
+  through the demand-fetch path with ``resend=True`` — one damaged
+  frame costs one retransmission, not a reconnect.
+* **Duplicate suppression** — re-sent and duplicated units are dropped
+  by wire key, so buffers and arrival logs converge to exactly one
+  copy of each unit.
+* **Graceful degradation** — once ``max_reconnects`` is exhausted the
+  client falls back to a one-shot *strict* whole-file fetch.  The
+  paper's non-strictness is an optimization, never a correctness
+  requirement; the degraded session still yields every class, just
+  without overlap.  Only when that too fails does the fetch surface
+  :class:`~repro.errors.ResilienceExhaustedError`.
+
+Every recovery action emits a typed :mod:`repro.observe` event
+(``reconnect``, ``unit_retry``, ``degraded_to_strict``) and bumps the
+matching ``netserve_*_total`` counter, so chaos runs are as observable
+as clean ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import (
+    ConnectionLostError,
+    FrameCorruptionError,
+    ProtocolError,
+    ResilienceExhaustedError,
+    StreamDecodeError,
+    TransferError,
+)
+from ..transfer import UnitKind
+from .client import NonStrictFetcher
+from .protocol import (
+    Frame,
+    FrameKind,
+    decode_frame,
+    demand_fetch_frame,
+    hello_frame,
+    read_raw_frame,
+    resume_frame,
+    salvage_unit_key,
+    unit_kind_code,
+    unit_kind_from_code,
+    unit_wire_key,
+)
+
+__all__ = ["ResilientFetcher"]
+
+#: A unit's wire identity: (kind code, class name, method name).
+UnitKey = Tuple[int, str, Optional[str]]
+
+
+class ResilientFetcher(NonStrictFetcher):
+    """A fetcher that survives cuts, corruption, drops, and stalls.
+
+    Args:
+        max_reconnects: Reconnect-with-resume attempts before degrading
+            to the strict fallback.  ``0`` degrades immediately on the
+            first failure.
+        backoff_base: First reconnect delay in seconds; each further
+            attempt doubles it.
+        backoff_cap: Upper bound on any single backoff delay.
+        backoff_jitter: Fraction of the backoff added as seeded random
+            jitter (``0.0`` = fully deterministic delays).
+        deadline: Overall wall-clock budget in seconds for the entire
+            fetch, recoveries included; exceeded ⇒ typed
+            :class:`~repro.errors.TransferError` from every waiter.
+        seed: Seeds the jitter RNG, so a fixed seed replays the same
+            backoff schedule.
+
+    All other arguments match :class:`.client.NonStrictFetcher`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        policy: str = "non_strict",
+        strategy: str = "static",
+        demand_timeout: float = 5.0,
+        demand_retries: int = 3,
+        connect_timeout: Optional[float] = 10.0,
+        max_reconnects: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_jitter: float = 0.25,
+        deadline: Optional[float] = None,
+        seed: int = 0,
+        recorder=None,
+    ) -> None:
+        super().__init__(
+            host,
+            port,
+            policy=policy,
+            strategy=strategy,
+            demand_timeout=demand_timeout,
+            demand_retries=demand_retries,
+            connect_timeout=connect_timeout,
+            recorder=recorder,
+        )
+        if max_reconnects < 0:
+            raise TransferError(
+                f"max_reconnects must be >= 0: {max_reconnects}"
+            )
+        self.max_reconnects = max_reconnects
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.deadline = deadline
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._expected_keys: Set[UnitKey] = set()
+        self._plan_order: Dict[UnitKey, int] = {}
+        self._deadline_at: Optional[float] = None
+        self._reconnects_used = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def connect(self) -> Dict:
+        manifest = await super().connect()
+        self._merge_manifest(manifest)
+        if self.deadline is not None:
+            self._deadline_at = time.monotonic() + self.deadline
+        return manifest
+
+    def _merge_manifest(self, manifest: Dict) -> None:
+        """Fold an ack's manifest into the expected set and plan order.
+
+        The first manifest defines the session's unit order; later
+        (resume) manifests are subsequences of it, so only unseen keys
+        extend the order.
+        """
+        for entry in manifest.get("sequence", []):
+            kind_value, class_name, method_name = (
+                entry[0],
+                entry[1],
+                entry[2],
+            )
+            key = (
+                unit_kind_code(UnitKind(kind_value)),
+                str(class_name),
+                None if method_name is None else str(method_name),
+            )
+            self._expected_keys.add(key)
+            self._plan_order.setdefault(key, len(self._plan_order))
+
+    # -- completeness -----------------------------------------------------
+
+    def _missing_keys(self) -> Set[UnitKey]:
+        """Expected units not yet held (a whole class file satisfies
+        every unit of its class — the strict-degradation case)."""
+        return {
+            key
+            for key in self._expected_keys
+            if key not in self._received_keys
+            and key[1] not in self._classes_complete
+        }
+
+    def class_bytes(self, class_name: str) -> bytes:
+        """Concatenated payloads for one class, in *plan* order.
+
+        Retried and resumed units arrive out of order; reassembling by
+        the manifest's position (arrival index breaks ties) makes a
+        chaos run's bytes identical to a fault-free run's.
+        """
+        fallback = len(self._plan_order)
+        ordered = sorted(
+            enumerate(self.buffers.get(class_name, [])),
+            key=lambda entry: (
+                self._plan_order.get(
+                    unit_wire_key(entry[1][0]), fallback
+                ),
+                entry[0],
+            ),
+        )
+        return b"".join(payload for _, (_, payload) in ordered)
+
+    # -- deadline ---------------------------------------------------------
+
+    def _deadline_error(self) -> TransferError:
+        return TransferError(
+            f"fetch deadline of {self.deadline:.1f}s exceeded"
+        )
+
+    def _check_deadline(self) -> None:
+        if (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        ):
+            raise self._deadline_error()
+
+    async def _read_raw_with_deadline(self) -> bytes:
+        assert self._reader is not None
+        if self._deadline_at is None:
+            return await read_raw_frame(self._reader)
+        remaining = self._deadline_at - time.monotonic()
+        if remaining <= 0:
+            raise self._deadline_error()
+        try:
+            return await asyncio.wait_for(
+                read_raw_frame(self._reader), timeout=remaining
+            )
+        except asyncio.TimeoutError as exc:
+            raise self._deadline_error() from exc
+
+    # -- receive path -----------------------------------------------------
+
+    def _handle_unit_frame(self, frame: Frame) -> None:
+        assert frame.unit is not None
+        if unit_wire_key(frame.unit) in self._received_keys:
+            # Re-sent after a resume race, or a deliberate duplicate
+            # fault: either way the first intact copy already counted.
+            self.stats.record_duplicate_unit()
+            return
+        super()._handle_unit_frame(frame)
+
+    async def _send_demand_frame(self, frame: Frame) -> None:
+        try:
+            await super()._send_demand_frame(frame)
+        except ConnectionLostError:
+            # The receive loop is already reconnecting; the resumed
+            # session delivers the unit without this nudge.
+            pass
+
+    async def _retry_unit(
+        self, key: UnitKey, error: FrameCorruptionError
+    ) -> None:
+        """Re-request exactly one damaged unit via demand-fetch."""
+        code, class_name, method_name = key
+        self.stats.record_unit_retry()
+        if self.recorder is not None:
+            self.recorder.unit_retry(
+                self.elapsed(),
+                class_name=class_name,
+                method=method_name,
+                reason=str(error),
+            )
+        await self._send_demand_frame(
+            demand_fetch_frame(
+                class_name,
+                method_name,
+                kind=unit_kind_from_code(code),
+                resend=True,
+            )
+        )
+
+    async def _drain_session(self) -> bool:
+        """Receive frames until EOF; True iff nothing is missing.
+
+        Raises :class:`~repro.errors.ConnectionLostError` /
+        :class:`~repro.errors.StreamDecodeError` for the failures the
+        reconnect path can recover from.
+        """
+        assert self._reader is not None
+        while True:
+            raw = await self._read_raw_with_deadline()
+            try:
+                frame, _ = decode_frame(raw)
+            except FrameCorruptionError as error:
+                key = salvage_unit_key(raw)
+                if key is None:
+                    raise self._decode_error(raw, error) from error
+                self._wire_bytes += len(raw)
+                await self._retry_unit(key, error)
+                continue
+            self._wire_bytes += len(raw)
+            self.stats.record_frame(frame.wire_size)
+            if frame.kind == FrameKind.UNIT:
+                self._handle_unit_frame(frame)
+            elif frame.kind == FrameKind.EOF:
+                return not self._missing_keys()
+            elif frame.kind == FrameKind.ERROR:
+                raise ProtocolError(
+                    f"server error: {frame.field_dict.get('message')}"
+                )
+            else:
+                raise ProtocolError(
+                    f"unexpected {frame.kind.name} frame mid-stream"
+                )
+
+    async def _receive_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    complete = await self._drain_session()
+                except (ConnectionLostError, StreamDecodeError) as error:
+                    if await self._recover(error):
+                        continue
+                    return  # the strict fallback finished the fetch
+                if complete:
+                    self._eof.set()
+                    return
+                # EOF arrived with units still missing (dropped
+                # frames): resume fills exactly the gaps.
+                if not await self._recover(
+                    TransferError("server EOF with units still missing")
+                ):
+                    return
+        except TransferError as error:
+            self._fail(error)
+        except asyncio.CancelledError:
+            self._fail(ConnectionLostError("fetcher closed"))
+            raise
+
+    # -- recovery ---------------------------------------------------------
+
+    async def _recover(self, error: BaseException) -> bool:
+        """Reconnect with resume; True = resumed, False = degraded
+        (strict fallback already completed the fetch).
+
+        Raises:
+            ResilienceExhaustedError: If the strict fallback fails too.
+            TransferError: If the fetch deadline expires mid-recovery.
+        """
+        if self._writer is not None:
+            self._writer.close()
+        # The budget spans the whole fetch, not one recovery round —
+        # otherwise a plan that faults every connection alternates
+        # resume/EOF forever instead of degrading.
+        while self._reconnects_used < self.max_reconnects:
+            self._reconnects_used += 1
+            attempt = self._reconnects_used
+            self._check_deadline()
+            backoff = min(
+                self.backoff_cap,
+                self.backoff_base * (2 ** (attempt - 1)),
+            )
+            backoff += self._rng.uniform(
+                0.0, self.backoff_jitter * backoff
+            )
+            await asyncio.sleep(backoff)
+            self._check_deadline()
+            self.stats.record_reconnect()
+            if self.recorder is not None:
+                self.recorder.reconnect(
+                    self.elapsed(),
+                    attempt=attempt,
+                    backoff=backoff,
+                    error=str(error),
+                )
+            try:
+                ack = await self._open_and_negotiate(
+                    resume_frame(
+                        self.policy,
+                        self.strategy,
+                        have=sorted(
+                            self._received_keys,
+                            key=lambda k: (k[0], k[1], k[2] or ""),
+                        ),
+                    )
+                )
+                if ack.kind != FrameKind.RESUME_ACK:
+                    raise ProtocolError(
+                        f"expected RESUME_ACK, got {ack.kind.name}"
+                    )
+            except (ConnectionLostError, ProtocolError) as retry_error:
+                error = retry_error
+                continue
+            self._merge_manifest(ack.field_dict)
+            return True
+        return await self._degrade(
+            f"{self.max_reconnects} reconnects exhausted: {error}"
+        )
+
+    async def _degrade(self, reason: str) -> bool:
+        """One-shot strict whole-file fetch; returns False when done.
+
+        Raises:
+            ResilienceExhaustedError: If even the strict transfer
+                cannot complete.
+        """
+        self.stats.record_degraded()
+        if self.recorder is not None:
+            self.recorder.degraded_to_strict(
+                self.elapsed(), reason=reason
+            )
+        try:
+            ack = await self._open_and_negotiate(
+                hello_frame("strict", self.strategy)
+            )
+            if ack.kind != FrameKind.HELLO_ACK:
+                raise ProtocolError(
+                    f"expected HELLO_ACK, got {ack.kind.name}"
+                )
+            self._merge_manifest(ack.field_dict)
+            complete = await self._drain_session()
+        except TransferError as exc:
+            raise ResilienceExhaustedError(
+                f"strict fallback failed ({reason}): {exc}"
+            ) from exc
+        if not complete:
+            missing: List[UnitKey] = sorted(
+                self._missing_keys(),
+                key=lambda k: (k[0], k[1], k[2] or ""),
+            )
+            raise ResilienceExhaustedError(
+                f"strict fallback still missing {len(missing)} units "
+                f"({reason}): {missing[:5]}"
+            )
+        self._eof.set()
+        return False

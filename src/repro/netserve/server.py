@@ -27,6 +27,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from ..errors import ConnectionLostError, ProtocolError, ReproError
+from ..faults import ConnectionFaults, FaultInjector, FaultPlan, FrameDirective
 from ..program import Program
 from ..reorder import (
     FirstUseOrder,
@@ -50,7 +51,9 @@ from .protocol import (
     error_frame,
     hello_ack_frame,
     read_frame,
+    resume_ack_frame,
     unit_frame,
+    unit_wire_key,
 )
 from .stats import ConnectionStats, ServerStats
 
@@ -112,6 +115,11 @@ class ClassFileServer:
             ``static`` and says so in the ``HELLO_ACK``.
         once: Stop accepting after the first connection finishes
             (handy for demos and CLI pipelines).
+        fault_plan: Optional :class:`repro.faults.FaultPlan`; outgoing
+            post-negotiation frames pass through its per-connection
+            fault state (cuts, corruption, drops, duplicates, stalls,
+            jitter), each applied fault emitted as a ``fault_injected``
+            event and counted in ``netserve_faults_injected``.
         recorder: Optional :class:`repro.observe.TraceRecorder` (clock
             ``"seconds"``); when given, every wire frame becomes a
             ``frame_sent`` event and every demand-fetch promotion a
@@ -128,6 +136,7 @@ class ClassFileServer:
         burst: float = 256.0,
         profile: Optional[FirstUseProfile] = None,
         once: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
         recorder: Optional["TraceRecorder"] = None,
     ) -> None:
         self.program = program
@@ -137,6 +146,12 @@ class ClassFileServer:
         self.burst = burst
         self.profile = profile
         self.once = once
+        self.fault_plan = fault_plan
+        self._injector = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and not fault_plan.is_noop
+            else None
+        )
         self.recorder = recorder
         self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -248,10 +263,15 @@ class ClassFileServer:
             started_at=time.monotonic(),
         )
         self._writers.append(writer)
+        faults = (
+            self._injector.connection()
+            if self._injector is not None
+            else None
+        )
         demand_task: Optional[asyncio.Task] = None
         try:
             try:
-                sequence, payloads, _ = await self._negotiate(
+                sequence, payloads, full_sequence = await self._negotiate(
                     reader, writer, conn
                 )
             except ConnectionLostError:
@@ -264,9 +284,9 @@ class ClassFileServer:
                 return
             pending: Deque[TransferUnit] = deque(sequence)
             demand_task = asyncio.create_task(
-                self._demand_loop(reader, pending, conn)
+                self._demand_loop(reader, pending, full_sequence, conn)
             )
-            await self._send_units(writer, pending, payloads, conn)
+            await self._send_units(writer, pending, payloads, conn, faults)
         except (ConnectionLostError, ConnectionError, OSError):
             conn.aborted = True
         except asyncio.CancelledError:
@@ -288,11 +308,22 @@ class ClassFileServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         conn: ConnectionStats,
-    ) -> Tuple[List[TransferUnit], Dict[TransferUnit, bytes], str]:
+    ) -> Tuple[
+        List[TransferUnit],
+        Dict[TransferUnit, bytes],
+        List[TransferUnit],
+    ]:
+        """Negotiate a session; returns (to-send, payloads, full plan).
+
+        Accepts a fresh ``HELLO`` or a ``RESUME`` carrying the unit
+        wire keys the client already holds; a resume replays the same
+        session plan minus the held units, so a reconnecting client
+        pays only for what it lost.
+        """
         hello = await read_frame(reader)
-        if hello.kind != FrameKind.HELLO:
+        if hello.kind not in (FrameKind.HELLO, FrameKind.RESUME):
             raise ProtocolError(
-                f"expected HELLO, got {hello.kind.name}"
+                f"expected HELLO or RESUME, got {hello.kind.name}"
             )
         fields = hello.field_dict
         try:
@@ -302,13 +333,23 @@ class ClassFileServer:
                 f"unknown policy {fields.get('policy')!r}"
             ) from exc
         strategy = fields.get("strategy", "static")
-        sequence, payloads, actual_strategy = self._plan_session(
+        full_sequence, payloads, actual_strategy = self._plan_session(
             policy, strategy
         )
+        sequence = full_sequence
+        resumed = hello.kind == FrameKind.RESUME
+        if resumed:
+            have = self._have_keys(fields.get("have", []))
+            sequence = [
+                unit
+                for unit in full_sequence
+                if unit_wire_key(unit) not in have
+            ]
+            conn.record_resume(len(full_sequence) - len(sequence))
         conn.policy = policy.value
         conn.strategy = actual_strategy
         entry = self.program.entry_point
-        ack = hello_ack_frame(
+        ack_fields = dict(
             policy=policy.value,
             strategy=actual_strategy,
             unit_count=len(sequence),
@@ -319,9 +360,40 @@ class ClassFileServer:
             ),
             sequence=self._manifest(sequence),
         )
+        if resumed:
+            ack = resume_ack_frame(
+                skipped=len(full_sequence) - len(sequence),
+                **ack_fields,
+            )
+        else:
+            ack = hello_ack_frame(**ack_fields)
         writer.write(encode_frame(ack))
         await writer.drain()
-        return sequence, payloads, policy.value
+        return sequence, payloads, full_sequence
+
+    @staticmethod
+    def _have_keys(raw: object) -> set:
+        """Parse a RESUME's ``have`` list into unit wire keys."""
+        if not isinstance(raw, list):
+            raise ProtocolError("RESUME 'have' must be a list")
+        keys = set()
+        for entry in raw:
+            try:
+                code, class_name, method_name = entry
+                keys.add(
+                    (
+                        int(code),
+                        str(class_name),
+                        None
+                        if method_name is None
+                        else str(method_name),
+                    )
+                )
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed RESUME 'have' entry {entry!r}"
+                ) from exc
+        return keys
 
     async def _send_units(
         self,
@@ -329,6 +401,7 @@ class ClassFileServer:
         pending: Deque[TransferUnit],
         payloads: Dict[TransferUnit, bytes],
         conn: ConnectionStats,
+        faults: Optional[ConnectionFaults] = None,
     ) -> None:
         bucket = (
             TokenBucket(self.bandwidth, burst=self.burst)
@@ -340,36 +413,104 @@ class ClassFileServer:
             data = encode_frame(unit_frame(unit, payloads[unit]))
             if bucket is not None:
                 await bucket.consume(len(data))
+            alive = await self._transmit(
+                writer, data, conn, faults, kind="UNIT", unit=unit
+            )
+            if not alive:
+                return
+        eof = encode_frame(eof_frame())
+        if not await self._transmit(
+            writer, eof, conn, faults, kind="EOF"
+        ):
+            return
+
+    async def _transmit(
+        self,
+        writer: asyncio.StreamWriter,
+        data: bytes,
+        conn: ConnectionStats,
+        faults: Optional[ConnectionFaults],
+        kind: str,
+        unit: Optional[TransferUnit] = None,
+    ) -> bool:
+        """Send one frame through the fault layer.
+
+        Returns False when the directive severed the connection (the
+        handler must stop sending on this socket).
+        """
+        directive = (
+            faults.next_directive(len(data))
+            if faults is not None
+            else None
+        )
+        if directive is not None and directive.delay_seconds > 0:
+            await asyncio.sleep(directive.delay_seconds)
+        if directive is not None:
+            self._record_faults(directive, conn)
+        if directive is not None and directive.cut_at is not None:
+            if directive.cut_at > 0:
+                writer.write(data[: directive.cut_at])
+                conn.record_frame(directive.cut_at)
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            writer.close()
+            conn.aborted = True
+            return False
+        if directive is not None and directive.drop:
+            return True
+        if directive is not None and directive.corrupt_offset is not None:
+            damaged = bytearray(data)
+            damaged[directive.corrupt_offset] ^= 0xFF
+            data = bytes(damaged)
+        copies = directive.copies if directive is not None else 1
+        for _ in range(copies):
             writer.write(data)
             await writer.drain()
-            conn.record_frame(len(data), unit=True)
+            conn.record_frame(len(data), unit=unit is not None)
             if self.recorder is not None:
                 self.recorder.frame_sent(
                     self._now(),
-                    kind="UNIT",
+                    kind=kind,
                     size=len(data),
-                    class_name=unit.class_name,
+                    class_name=unit.class_name if unit else None,
                     method=(
-                        unit.method.method_name if unit.method else None
+                        unit.method.method_name
+                        if unit and unit.method
+                        else None
                     ),
                     peer=conn.peer,
                 )
-        eof = encode_frame(eof_frame())
-        writer.write(eof)
-        await writer.drain()
-        conn.record_frame(len(eof))
-        if self.recorder is not None:
-            self.recorder.frame_sent(
-                self._now(), kind="EOF", size=len(eof), peer=conn.peer
-            )
+        return True
+
+    def _record_faults(
+        self, directive: FrameDirective, conn: ConnectionStats
+    ) -> None:
+        for fault in directive.faults:
+            conn.record_fault(fault.kind)
+            if self.recorder is not None:
+                self.recorder.fault_injected(
+                    self._now(),
+                    fault=fault.kind,
+                    detail=fault.detail,
+                    frame=directive.frame_index,
+                    peer=conn.peer,
+                )
 
     async def _demand_loop(
         self,
         reader: asyncio.StreamReader,
         pending: Deque[TransferUnit],
+        full_sequence: List[TransferUnit],
         conn: ConnectionStats,
     ) -> None:
         """Serve DEMAND_FETCH frames by promoting pending units.
+
+        A plain demand promotes the demanded class's still-pending
+        units to the front.  A ``resend`` demand (a client recovering a
+        damaged frame) additionally re-enqueues already-sent units from
+        the session plan that match the given class / method / kind.
 
         Runs concurrently with the sender; the deque rearrangement is
         synchronous (no await between read and write of ``pending``),
@@ -382,28 +523,47 @@ class ClassFileServer:
                 return  # peer gone or talking garbage; sender notices
             if frame.kind != FrameKind.DEMAND_FETCH:
                 continue  # tolerate chatty clients; units keep flowing
-            demanded = frame.field_dict.get("class")
+            fields = frame.field_dict
+            demanded = fields.get("class")
             promoted = [
                 unit
                 for unit in pending
                 if unit.class_name == demanded
             ]
+            if fields.get("resend"):
+                in_pending = set(pending)
+                method = fields.get("method")
+                kind_code = fields.get("kind")
+
+                def matches(unit: TransferUnit) -> bool:
+                    code, class_name, method_name = unit_wire_key(unit)
+                    if class_name != demanded:
+                        return False
+                    if kind_code is not None and code != int(kind_code):
+                        return False
+                    if method is not None and method_name != method:
+                        return False
+                    return True
+
+                promoted = [
+                    unit
+                    for unit in full_sequence
+                    if unit not in in_pending and matches(unit)
+                ] + promoted
             conn.record_demand_fetch(len(promoted))
             if self.recorder is not None:
                 self.recorder.demand_fetch(
                     self._now(),
-                    method=(
-                        f"{demanded}."
-                        f"{frame.field_dict.get('method')}"
-                    ),
+                    method=f"{demanded}.{fields.get('method')}",
                     peer=conn.peer,
                 )
             if not promoted:
                 continue  # already sent (or unknown): nothing to jump
+            promoted_set = set(promoted)
             remaining = [
                 unit
                 for unit in pending
-                if unit.class_name != demanded
+                if unit not in promoted_set
             ]
             pending.clear()
             pending.extend(promoted)

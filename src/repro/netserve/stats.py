@@ -67,6 +67,21 @@ class ConnectionStats:
         if promoted_units:
             self._counter("netserve_promoted_units").inc(promoted_units)
 
+    def record_fault(self, kind: str) -> None:
+        """Account one deliberately injected fault, labeled by kind."""
+        self._registry.counter(
+            "netserve_faults_injected",
+            {**self._labels, "fault": kind},
+        ).inc()
+
+    def record_resume(self, skipped_units: int) -> None:
+        """Account a RESUME negotiation and the units it skipped."""
+        self._counter("netserve_resumes").inc()
+        if skipped_units:
+            self._counter("netserve_resume_skipped_units").inc(
+                skipped_units
+            )
+
     # -- legacy read interface --------------------------------------------
 
     @property
@@ -88,6 +103,10 @@ class ConnectionStats:
     @property
     def promoted_units(self) -> int:
         return int(self._counter("netserve_promoted_units").value)
+
+    @property
+    def resumes(self) -> int:
+        return int(self._counter("netserve_resumes").value)
 
     @property
     def duration(self) -> Optional[float]:
@@ -131,6 +150,16 @@ class ServerStats:
             self.metrics.counter_total("netserve_demand_fetches")
         )
 
+    @property
+    def faults_injected(self) -> int:
+        return int(
+            self.metrics.counter_total("netserve_faults_injected")
+        )
+
+    @property
+    def resumes(self) -> int:
+        return int(self.metrics.counter_total("netserve_resumes"))
+
     def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
         return self.metrics.snapshot()
 
@@ -160,6 +189,18 @@ class FetchStats:
 
     def record_demand_fetch(self) -> None:
         self._counter("netserve_demand_fetches").inc()
+
+    def record_reconnect(self) -> None:
+        self._counter("netserve_reconnects_total").inc()
+
+    def record_degraded(self) -> None:
+        self._counter("netserve_degraded_total").inc()
+
+    def record_unit_retry(self) -> None:
+        self._counter("netserve_unit_retries_total").inc()
+
+    def record_duplicate_unit(self) -> None:
+        self._counter("netserve_duplicate_units_total").inc()
 
     def record_stall(self, method: MethodId, seconds: float) -> None:
         self.stall_seconds[method] = (
@@ -191,6 +232,24 @@ class FetchStats:
         return int(self._counter("netserve_demand_fetches").value)
 
     @property
+    def reconnects(self) -> int:
+        return int(self._counter("netserve_reconnects_total").value)
+
+    @property
+    def degraded(self) -> int:
+        return int(self._counter("netserve_degraded_total").value)
+
+    @property
+    def unit_retries(self) -> int:
+        return int(self._counter("netserve_unit_retries_total").value)
+
+    @property
+    def duplicate_units(self) -> int:
+        return int(
+            self._counter("netserve_duplicate_units_total").value
+        )
+
+    @property
     def stall_histogram(self) -> Histogram:
         return self.metrics.histogram(
             "netserve_stall_seconds",
@@ -217,6 +276,15 @@ def format_fetch_stats(stats: FetchStats) -> str:
         f"demand fetches:    {stats.demand_fetches}",
         f"stall time total:  {stats.total_stall_seconds * 1e3:.1f} ms",
     ]
+    if stats.reconnects or stats.unit_retries or stats.degraded:
+        lines.extend(
+            [
+                f"reconnects:        {stats.reconnects}",
+                f"unit retries:      {stats.unit_retries}",
+                f"degraded:          "
+                f"{'yes' if stats.degraded else 'no'}",
+            ]
+        )
     for method, seconds in sorted(
         stats.stall_seconds.items(), key=lambda item: -item[1]
     ):

@@ -21,10 +21,14 @@ from typing import Dict
 
 _EXPORTS: Dict[str, str] = {
     # events
+    "DEGRADED_TO_STRICT": "events",
     "DEMAND_FETCH": "events",
     "EVENT_CATEGORIES": "events",
     "EVENT_SCHEMA": "events",
+    "FAULT_INJECTED": "events",
     "FRAME_SENT": "events",
+    "RECONNECT": "events",
+    "UNIT_RETRY": "events",
     "METHOD_FIRST_INVOKE": "events",
     "SCHEDULE_DECISION": "events",
     "STALL_BEGIN": "events",

@@ -17,7 +17,12 @@ Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
 * ``demand_fetch`` — a first-use misprediction was corrected (§5.1);
 * ``frame_sent`` — the server put a wire frame on the socket;
 * ``schedule_decision`` — a transfer controller started, queued, or
-  promoted a stream.
+  promoted a stream;
+* ``fault_injected`` — the fault layer deliberately misbehaved;
+* ``reconnect`` — the resilient client re-dialled after a failure;
+* ``unit_retry`` — one damaged unit was re-requested on its own;
+* ``degraded_to_strict`` — resilience gave up on overlap and fell back
+  to a one-shot strict whole-file transfer.
 """
 
 from __future__ import annotations
@@ -36,6 +41,10 @@ __all__ = [
     "DEMAND_FETCH",
     "FRAME_SENT",
     "SCHEDULE_DECISION",
+    "FAULT_INJECTED",
+    "RECONNECT",
+    "UNIT_RETRY",
+    "DEGRADED_TO_STRICT",
     "validate_event",
 ]
 
@@ -46,6 +55,10 @@ STALL_END = "stall_end"
 DEMAND_FETCH = "demand_fetch"
 FRAME_SENT = "frame_sent"
 SCHEDULE_DECISION = "schedule_decision"
+FAULT_INJECTED = "fault_injected"
+RECONNECT = "reconnect"
+UNIT_RETRY = "unit_retry"
+DEGRADED_TO_STRICT = "degraded_to_strict"
 
 #: Required ``args`` keys per event name.  Emitters may add extra keys
 #: (they survive every exporter round-trip), but these must be present.
@@ -57,6 +70,10 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     DEMAND_FETCH: ("method",),
     FRAME_SENT: ("kind", "size"),
     SCHEDULE_DECISION: ("action", "target"),
+    FAULT_INJECTED: ("fault",),
+    RECONNECT: ("attempt",),
+    UNIT_RETRY: ("class_name",),
+    DEGRADED_TO_STRICT: ("reason",),
 }
 
 #: Display lane per event name (Chrome trace "thread", ASCII timeline
@@ -69,6 +86,10 @@ EVENT_CATEGORIES: Dict[str, str] = {
     DEMAND_FETCH: "schedule",
     FRAME_SENT: "transfer",
     SCHEDULE_DECISION: "schedule",
+    FAULT_INJECTED: "fault",
+    RECONNECT: "schedule",
+    UNIT_RETRY: "schedule",
+    DEGRADED_TO_STRICT: "schedule",
 }
 
 

@@ -18,13 +18,17 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from .events import (
+    DEGRADED_TO_STRICT,
     DEMAND_FETCH,
+    FAULT_INJECTED,
     FRAME_SENT,
     METHOD_FIRST_INVOKE,
+    RECONNECT,
     SCHEDULE_DECISION,
     STALL_BEGIN,
     STALL_END,
     UNIT_ARRIVED,
+    UNIT_RETRY,
     TraceEvent,
     validate_event,
 )
@@ -158,3 +162,25 @@ class TraceRecorder:
         self.emit(
             SCHEDULE_DECISION, ts, action=action, target=target, **extra
         )
+
+    def fault_injected(self, ts: float, fault: str, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(FAULT_INJECTED, ts, fault=fault, **extra)
+
+    def reconnect(self, ts: float, attempt: int, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(RECONNECT, ts, attempt=attempt, **extra)
+
+    def unit_retry(self, ts: float, class_name: str, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(UNIT_RETRY, ts, class_name=class_name, **extra)
+
+    def degraded_to_strict(
+        self, ts: float, reason: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(DEGRADED_TO_STRICT, ts, reason=reason, **extra)

@@ -34,7 +34,7 @@ from .errors import ReproError
 from .linker import verify_class
 from .reorder import estimate_first_use
 from .storage import load_program, load_trace
-from .transfer import MODEM_LINK, T1_LINK
+from .transfer import MODEM_LINK, T1_LINK, lossy_link
 
 __all__ = ["main"]
 
@@ -120,6 +120,16 @@ def _cmd_simulate(arguments) -> int:
     program = load_program(arguments.directory)
     trace = load_trace(arguments.trace)
     link = _LINKS[arguments.link]
+    if arguments.loss:
+        link = lossy_link(
+            link,
+            arguments.loss,
+            retransmit_penalty_cycles=arguments.retransmit_penalty,
+        )
+        print(
+            f"lossy link:        {link.name} "
+            f"({link.cycles_per_byte:,.0f} cycles/byte effective)"
+        )
     order = estimate_first_use(program)
     base = strict_baseline(program, trace, link, arguments.cpi)
     result = run_nonstrict(
@@ -249,10 +259,21 @@ def _traced_netserve_run(program, trace, arguments, recorder):
 
 def _cmd_serve(arguments) -> int:
     import asyncio
+    import json
 
+    from .faults import FaultPlan
     from .netserve import ClassFileServer
 
     program = load_program(arguments.directory)
+    fault_plan = None
+    if arguments.faults:
+        try:
+            fault_plan = FaultPlan.from_dict(
+                json.loads(arguments.faults)
+            )
+        except json.JSONDecodeError as error:
+            print(f"error: --faults is not JSON: {error}", file=sys.stderr)
+            return 2
 
     async def run_server() -> None:
         server = ClassFileServer(
@@ -262,6 +283,7 @@ def _cmd_serve(arguments) -> int:
             bandwidth=arguments.bandwidth,
             burst=arguments.burst,
             once=arguments.once,
+            fault_plan=fault_plan,
         )
         host, port = await server.start()
         print(f"serving {arguments.directory} on {host}:{port}")
@@ -292,6 +314,7 @@ def _cmd_fetch(arguments) -> int:
 
     from .netserve import (
         NonStrictFetcher,
+        ResilientFetcher,
         format_fetch_stats,
         run_networked,
     )
@@ -299,15 +322,36 @@ def _cmd_fetch(arguments) -> int:
     trace = (
         load_trace(arguments.trace) if arguments.trace else None
     )
+    resilient = (
+        arguments.max_reconnects is not None
+        or arguments.deadline is not None
+    )
 
     async def run_fetch() -> None:
-        fetcher = NonStrictFetcher(
-            arguments.host,
-            arguments.port,
-            policy=arguments.policy,
-            strategy=arguments.strategy,
-            demand_timeout=arguments.timeout,
-        )
+        if resilient:
+            fetcher: NonStrictFetcher = ResilientFetcher(
+                arguments.host,
+                arguments.port,
+                policy=arguments.policy,
+                strategy=arguments.strategy,
+                demand_timeout=arguments.timeout,
+                connect_timeout=arguments.connect_timeout,
+                max_reconnects=(
+                    arguments.max_reconnects
+                    if arguments.max_reconnects is not None
+                    else 4
+                ),
+                deadline=arguments.deadline,
+            )
+        else:
+            fetcher = NonStrictFetcher(
+                arguments.host,
+                arguments.port,
+                policy=arguments.policy,
+                strategy=arguments.strategy,
+                demand_timeout=arguments.timeout,
+                connect_timeout=arguments.connect_timeout,
+            )
         await fetcher.connect()
         try:
             if trace is not None:
@@ -387,6 +431,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     simulate.add_argument("--streams", type=int, default=None)
     simulate.add_argument("--partition", action="store_true")
+    simulate.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-packet loss probability in [0, 1) applied to the "
+        "link (expected-value retransmission model)",
+    )
+    simulate.add_argument(
+        "--retransmit-penalty",
+        type=float,
+        default=0.0,
+        help="extra cycles per lost packet (timeout + turnaround)",
+    )
     simulate.set_defaults(handler=_cmd_simulate)
 
     traced = commands.add_parser(
@@ -473,6 +530,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write the bound port to this file (for scripting)",
     )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="JSON",
+        help="fault-injection plan as a JSON object "
+        '(e.g. \'{"seed": 7, "cut_after_bytes": [4000]}\'; '
+        "see repro.faults.FaultPlan)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     fetch = commands.add_parser(
@@ -497,6 +562,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=5.0,
         help="demand-fetch timeout in seconds",
+    )
+    fetch.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds allowed for connect + session handshake",
+    )
+    fetch.add_argument(
+        "--max-reconnects",
+        type=int,
+        default=None,
+        help="enable the resilient fetcher with this reconnect budget "
+        "(0 = degrade to a strict fetch on the first failure)",
+    )
+    fetch.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="overall fetch deadline in seconds (implies the "
+        "resilient fetcher)",
     )
     fetch.set_defaults(handler=_cmd_fetch)
 

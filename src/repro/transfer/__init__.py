@@ -13,8 +13,10 @@ from .link import (
     CPU_HZ,
     MODEM_LINK,
     T1_LINK,
+    LossyLink,
     NetworkLink,
     link_from_bandwidth,
+    lossy_link,
 )
 from .parallel import ParallelController
 from .schedule import ScheduledStart, TransferSchedule, build_schedule
@@ -41,8 +43,10 @@ __all__ = [
     "CPU_HZ",
     "MODEM_LINK",
     "T1_LINK",
+    "LossyLink",
     "NetworkLink",
     "link_from_bandwidth",
+    "lossy_link",
     "ParallelController",
     "ScheduledStart",
     "TransferSchedule",

@@ -12,7 +12,14 @@ from dataclasses import dataclass
 
 from ..errors import TransferError
 
-__all__ = ["NetworkLink", "T1_LINK", "MODEM_LINK", "link_from_bandwidth"]
+__all__ = [
+    "NetworkLink",
+    "LossyLink",
+    "T1_LINK",
+    "MODEM_LINK",
+    "link_from_bandwidth",
+    "lossy_link",
+]
 
 #: Paper's CPU model: 500 MHz DEC Alpha 21164.
 CPU_HZ = 500_000_000
@@ -63,6 +70,78 @@ def link_from_bandwidth(
     bytes_per_second = bits_per_second / 8.0
     return NetworkLink(
         name=name, cycles_per_byte=cpu_hz / bytes_per_second
+    )
+
+
+@dataclass(frozen=True)
+class LossyLink(NetworkLink):
+    """A link whose packets are lost and retransmitted.
+
+    ``cycles_per_byte`` is the *effective* (loss-inflated) rate the
+    stream engine sees, so the cycle-exact simulator runs loss sweeps
+    without any change to its event loop; the loss parameters are kept
+    for reporting.  Build instances with :func:`lossy_link`.
+
+    Attributes:
+        loss_probability: Per-packet loss probability in ``[0, 1)``.
+        retransmit_penalty_cycles: Extra cycles (timeout + resend
+            turnaround) paid per lost packet, on top of resending it.
+        mtu_bytes: Packet size the loss process acts on.
+        base_cycles_per_byte: The fault-free link's rate.
+    """
+
+    loss_probability: float = 0.0
+    retransmit_penalty_cycles: float = 0.0
+    mtu_bytes: float = 1500.0
+    base_cycles_per_byte: float = 0.0
+
+
+def lossy_link(
+    base: NetworkLink,
+    loss_probability: float,
+    retransmit_penalty_cycles: float = 0.0,
+    mtu_bytes: float = 1500.0,
+) -> NetworkLink:
+    """Degrade ``base`` with packet loss and retransmission.
+
+    Models ``mtu_bytes``-sized packets, each independently lost with
+    ``loss_probability``; a lost packet is retransmitted (expected
+    attempts ``1 / (1 - p)``) and every loss additionally costs
+    ``retransmit_penalty_cycles`` of timeout/turnaround latency.  The
+    expected cost folds into one effective cycles-per-byte rate::
+
+        cpb' = cpb / (1 - p) + (p / (1 - p)) * penalty / mtu
+
+    With ``loss_probability == 0`` the base link is returned unchanged,
+    so sweeps can start at a true zero point.
+    """
+    if not 0.0 <= loss_probability < 1.0:
+        raise TransferError(
+            f"loss probability must be in [0, 1): {loss_probability}"
+        )
+    if retransmit_penalty_cycles < 0:
+        raise TransferError(
+            f"retransmit penalty must be >= 0: "
+            f"{retransmit_penalty_cycles}"
+        )
+    if mtu_bytes <= 0:
+        raise TransferError(f"mtu must be positive: {mtu_bytes}")
+    if loss_probability == 0.0:
+        return base
+    survival = 1.0 - loss_probability
+    effective = (
+        base.cycles_per_byte / survival
+        + (loss_probability / survival)
+        * retransmit_penalty_cycles
+        / mtu_bytes
+    )
+    return LossyLink(
+        name=f"{base.name}+loss{loss_probability:g}",
+        cycles_per_byte=effective,
+        loss_probability=loss_probability,
+        retransmit_penalty_cycles=retransmit_penalty_cycles,
+        mtu_bytes=mtu_bytes,
+        base_cycles_per_byte=base.cycles_per_byte,
     )
 
 

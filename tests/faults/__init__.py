@@ -1,0 +1,1 @@
+"""Chaos suite: fault injection, recovery, and degradation."""

@@ -1,0 +1,67 @@
+"""Lossy-link model: expected-value math and validation."""
+
+import pytest
+
+from repro.errors import TransferError
+from repro.transfer import (
+    MODEM_LINK,
+    T1_LINK,
+    LossyLink,
+    NetworkLink,
+    lossy_link,
+)
+
+
+def test_zero_loss_returns_the_base_link_unchanged():
+    assert lossy_link(T1_LINK, 0.0) is T1_LINK
+
+
+def test_effective_rate_matches_expected_value_formula():
+    p, penalty, mtu = 0.1, 1_000_000.0, 1500.0
+    link = lossy_link(
+        T1_LINK, p, retransmit_penalty_cycles=penalty, mtu_bytes=mtu
+    )
+    expected = T1_LINK.cycles_per_byte / (1 - p) + (
+        p / (1 - p)
+    ) * penalty / mtu
+    assert link.cycles_per_byte == pytest.approx(expected)
+
+
+def test_loss_without_penalty_is_pure_bandwidth_inflation():
+    link = lossy_link(MODEM_LINK, 0.5)
+    assert link.cycles_per_byte == pytest.approx(
+        2 * MODEM_LINK.cycles_per_byte
+    )
+
+
+def test_loss_monotonically_slows_the_link():
+    rates = [
+        lossy_link(T1_LINK, p, retransmit_penalty_cycles=1e5).cycles_per_byte
+        for p in (0.01, 0.05, 0.1, 0.25, 0.5)
+    ]
+    assert rates == sorted(rates)
+    assert rates[0] > T1_LINK.cycles_per_byte
+
+
+def test_lossy_link_is_a_network_link():
+    link = lossy_link(T1_LINK, 0.2)
+    assert isinstance(link, LossyLink)
+    assert isinstance(link, NetworkLink)
+    assert link.name == "T1+loss0.2"
+    assert link.base_cycles_per_byte == T1_LINK.cycles_per_byte
+    # The simulator-facing interface is untouched.
+    assert link.transfer_cycles(100) == 100 * link.cycles_per_byte
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"loss_probability": 1.0},
+        {"loss_probability": -0.1},
+        {"loss_probability": 0.1, "retransmit_penalty_cycles": -1.0},
+        {"loss_probability": 0.1, "mtu_bytes": 0.0},
+    ],
+)
+def test_invalid_parameters_raise(kwargs):
+    with pytest.raises(TransferError):
+        lossy_link(T1_LINK, **kwargs)

@@ -1,0 +1,143 @@
+"""FaultPlan: validation, serialization, determinism of directives."""
+
+import pytest
+
+from repro.errors import FaultPlanError, ReproError
+from repro.faults import ConnectionFaults, FaultInjector, FaultPlan
+
+
+# -- validation ---------------------------------------------------------
+
+
+def test_default_plan_is_noop():
+    assert FaultPlan().is_noop
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cut_after_bytes": (100,)},
+        {"cut_after_frames": (2,)},
+        {"corrupt_frames": (1,)},
+        {"drop_frames": (0,)},
+        {"duplicate_frames": (3,)},
+        {"drop_probability": 0.2},
+        {"jitter_seconds": 0.01},
+        {"stall_before_frame": 1, "stall_seconds": 0.5},
+    ],
+)
+def test_any_fault_field_defeats_noop(kwargs):
+    assert not FaultPlan(**kwargs).is_noop
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cut_after_bytes": (-1,)},
+        {"corrupt_frames": ("x",)},
+        {"drop_probability": 1.0},
+        {"drop_probability": -0.1},
+        {"jitter_seconds": -1.0},
+        {"stall_seconds": -0.5},
+        {"stall_before_frame": -1, "stall_seconds": 1.0},
+        {"stall_before_frame": 2},  # stall index without a duration
+    ],
+)
+def test_invalid_plans_raise_typed_error(kwargs):
+    with pytest.raises(FaultPlanError):
+        FaultPlan(**kwargs)
+
+
+def test_fault_plan_error_is_a_repro_error():
+    assert issubclass(FaultPlanError, ReproError)
+
+
+# -- serialization ------------------------------------------------------
+
+
+def test_to_dict_from_dict_round_trips():
+    plan = FaultPlan(
+        seed=9,
+        cut_after_bytes=(100, 200),
+        corrupt_frames=(1,),
+        drop_probability=0.25,
+        jitter_seconds=0.01,
+        stall_before_frame=3,
+        stall_seconds=0.2,
+    )
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+def test_to_dict_is_json_ready():
+    import json
+
+    plan = FaultPlan(cut_after_frames=(4,), duplicate_frames=(1, 2))
+    assert FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultPlanError, match="explode_frames"):
+        FaultPlan.from_dict({"seed": 1, "explode_frames": [2]})
+
+
+# -- directive determinism ---------------------------------------------
+
+
+def _directives(plan, index, lengths):
+    faults = ConnectionFaults(plan=plan, index=index)
+    return [faults.next_directive(length) for length in lengths]
+
+
+def test_same_plan_same_connection_replays_identically():
+    plan = FaultPlan(
+        seed=42,
+        corrupt_frames=(1,),
+        drop_probability=0.3,
+        jitter_seconds=0.05,
+    )
+    lengths = [64, 128, 256, 32, 512]
+    assert _directives(plan, 0, lengths) == _directives(plan, 0, lengths)
+
+
+def test_connection_index_changes_the_random_stream():
+    plan = FaultPlan(seed=42, drop_probability=0.5, jitter_seconds=0.05)
+    lengths = [64] * 12
+    first = _directives(plan, 0, lengths)
+    second = _directives(plan, 1, lengths)
+    assert first != second
+
+
+def test_cut_entries_are_consumed_per_connection():
+    plan = FaultPlan(seed=0, cut_after_bytes=(100,))
+    injector = FaultInjector(plan)
+    cut_conn = injector.connection()
+    directive = cut_conn.next_directive(150)
+    assert directive.cut_at == 100
+    # The next accepted connection runs clean: resume can finish.
+    clean_conn = injector.connection()
+    assert clean_conn.next_directive(150).clean
+
+
+def test_frame_cut_severs_at_frame_boundary():
+    plan = FaultPlan(seed=0, cut_after_frames=(2,))
+    faults = ConnectionFaults(plan=plan, index=0)
+    assert faults.next_directive(64).cut_at is None
+    assert faults.next_directive(64).cut_at is None
+    cut = faults.next_directive(64)
+    assert cut.cut_at == 0
+    assert [fault.kind for fault in cut.faults] == ["cut"]
+
+
+def test_corrupt_offset_lands_past_the_header():
+    plan = FaultPlan(seed=3, corrupt_frames=(0,))
+    faults = ConnectionFaults(plan=plan, index=0)
+    directive = faults.next_directive(200)
+    assert directive.corrupt_offset is not None
+    assert directive.corrupt_offset >= 8  # never destroys the framing
+
+
+def test_duplicate_sends_two_copies_once():
+    plan = FaultPlan(seed=0, duplicate_frames=(0,))
+    faults = ConnectionFaults(plan=plan, index=0)
+    assert faults.next_directive(64).copies == 2
+    assert faults.next_directive(64).copies == 1

@@ -1,0 +1,280 @@
+"""Per-fault recovery paths, timeouts, and typed failure context."""
+
+import asyncio
+
+import pytest
+
+from repro import figure1_program
+from repro.errors import (
+    ConnectionLostError,
+    ResilienceExhaustedError,
+    StreamDecodeError,
+    TransferError,
+)
+from repro.faults import FaultPlan
+from repro.netserve import (
+    ClassFileServer,
+    NonStrictFetcher,
+    ResilientFetcher,
+    encode_frame,
+    hello_ack_frame,
+    read_frame,
+    unit_frame,
+)
+from repro.program import MethodId
+from repro.transfer import TransferUnit, UnitKind
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def clean_bytes(program):
+    server = ClassFileServer(program)
+    host, port = await server.start()
+    fetcher = NonStrictFetcher(host, port)
+    await fetcher.connect()
+    await fetcher.wait_until_complete()
+    data = {name: fetcher.class_bytes(name) for name in fetcher.buffers}
+    await fetcher.aclose()
+    await server.aclose()
+    return data
+
+
+async def resilient_fetch(program, plan, **kwargs):
+    server = ClassFileServer(program, fault_plan=plan)
+    host, port = await server.start()
+    fetcher = ResilientFetcher(
+        host, port, backoff_base=0.005, backoff_jitter=0.0, **kwargs
+    )
+    await fetcher.connect()
+    try:
+        await fetcher.wait_until_complete()
+        return {
+            name: fetcher.class_bytes(name) for name in fetcher.buffers
+        }, fetcher
+    finally:
+        await fetcher.aclose()
+        await server.aclose()
+
+
+# -- one fault type at a time ------------------------------------------
+
+
+def test_corrupted_frame_is_retried_in_place():
+    async def scenario():
+        program = figure1_program()
+        clean = await clean_bytes(program)
+        plan = FaultPlan(seed=7, corrupt_frames=(1,))
+        data, fetcher = await resilient_fetch(program, plan, seed=7)
+        assert data == clean
+        assert fetcher.stats.unit_retries >= 1
+
+    run(scenario())
+
+
+def test_dropped_frame_is_recovered_by_resume():
+    async def scenario():
+        program = figure1_program()
+        clean = await clean_bytes(program)
+        plan = FaultPlan(seed=7, drop_frames=(2,))
+        data, fetcher = await resilient_fetch(program, plan, seed=7)
+        assert data == clean
+        assert fetcher.stats.reconnects >= 1
+
+    run(scenario())
+
+
+def test_duplicated_frames_are_suppressed_by_wire_key():
+    async def scenario():
+        program = figure1_program()
+        clean = await clean_bytes(program)
+        plan = FaultPlan(seed=7, duplicate_frames=(1, 2))
+        data, fetcher = await resilient_fetch(program, plan, seed=7)
+        assert data == clean
+        assert fetcher.stats.duplicate_units == 2
+        assert fetcher.stats.reconnects == 0
+
+    run(scenario())
+
+
+def test_stall_and_jitter_need_no_recovery():
+    async def scenario():
+        program = figure1_program()
+        clean = await clean_bytes(program)
+        plan = FaultPlan(
+            seed=7,
+            stall_before_frame=1,
+            stall_seconds=0.05,
+            jitter_seconds=0.005,
+        )
+        data, fetcher = await resilient_fetch(program, plan, seed=7)
+        assert data == clean
+        assert fetcher.stats.reconnects == 0
+        assert fetcher.stats.unit_retries == 0
+
+    run(scenario())
+
+
+def test_demand_fetch_still_works_through_recovery():
+    """A first-use miss mid-chaos resolves like on a clean link."""
+
+    async def scenario():
+        program = figure1_program()
+        plan = FaultPlan(seed=3, cut_after_bytes=(400,))
+        server = ClassFileServer(program, fault_plan=plan)
+        host, port = await server.start()
+        fetcher = ResilientFetcher(
+            host, port, backoff_base=0.005, seed=3
+        )
+        manifest = await fetcher.connect()
+        _, class_name, method, _ = next(
+            entry
+            for entry in reversed(manifest["sequence"])
+            if entry[2] is not None
+        )
+        await fetcher.wait_for_method(MethodId(class_name, method))
+        assert fetcher.is_method_available(MethodId(class_name, method))
+        await fetcher.aclose()
+        await server.aclose()
+
+    run(scenario())
+
+
+# -- exhaustion and deadlines ------------------------------------------
+
+
+def test_cutting_every_connection_exhausts_resilience():
+    """When even the strict fallback's connection is cut, the typed
+    exhaustion error surfaces from every waiter."""
+
+    async def scenario():
+        program = figure1_program()
+        plan = FaultPlan(seed=1, cut_after_frames=(0,) * 8)
+        server = ClassFileServer(program, fault_plan=plan)
+        host, port = await server.start()
+        fetcher = ResilientFetcher(
+            host, port, max_reconnects=2, backoff_base=0.005
+        )
+        await fetcher.connect()
+        with pytest.raises(ResilienceExhaustedError):
+            await fetcher.wait_until_complete()
+        await fetcher.aclose()
+        await server.aclose()
+
+    run(scenario())
+
+
+def test_deadline_bounds_the_whole_fetch():
+    async def scenario():
+        program = figure1_program()
+        plan = FaultPlan(
+            seed=1, stall_before_frame=1, stall_seconds=5.0
+        )
+        server = ClassFileServer(program, fault_plan=plan)
+        host, port = await server.start()
+        fetcher = ResilientFetcher(
+            host, port, deadline=0.2, backoff_base=0.005
+        )
+        await fetcher.connect()
+        with pytest.raises(TransferError, match="deadline"):
+            await fetcher.wait_until_complete()
+        await fetcher.aclose()
+        await server.aclose()
+
+    run(scenario())
+
+
+def test_negative_max_reconnects_is_rejected():
+    with pytest.raises(TransferError):
+        ResilientFetcher("127.0.0.1", 1, max_reconnects=-1)
+
+
+# -- connect timeout ----------------------------------------------------
+
+
+def test_connect_timeout_against_a_silent_server():
+    """A server that accepts but never answers the handshake."""
+
+    async def scenario():
+        async def silent(reader, writer):
+            await asyncio.sleep(30)
+
+        server = await asyncio.start_server(silent, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        fetcher = NonStrictFetcher(host, port, connect_timeout=0.1)
+        with pytest.raises(ConnectionLostError, match="timed out"):
+            await fetcher.connect()
+        server.close()
+        await server.wait_closed()
+
+    run(scenario())
+
+
+def test_connect_refused_is_a_typed_error():
+    async def scenario():
+        server = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        server.close()
+        await server.wait_closed()
+        fetcher = NonStrictFetcher(host, port, connect_timeout=0.5)
+        with pytest.raises(ConnectionLostError, match="cannot connect"):
+            await fetcher.connect()
+
+    run(scenario())
+
+
+# -- mid-stream decode context -----------------------------------------
+
+
+def test_stream_decode_error_names_unit_and_byte_offset():
+    """A handcrafted server corrupts its second unit's payload: the
+    plain fetcher's failure names the unit and the stream offset."""
+
+    async def scenario():
+        good_unit = TransferUnit(
+            kind=UnitKind.GLOBAL_DATA, class_name="Cold", size=8
+        )
+        bad_unit = TransferUnit(
+            kind=UnitKind.METHOD,
+            class_name="Hot",
+            size=8,
+            method=MethodId("Hot", "run"),
+        )
+        good = encode_frame(unit_frame(good_unit, b"\x01" * 8))
+        corrupted = bytearray(
+            encode_frame(unit_frame(bad_unit, b"\x02" * 8))
+        )
+        corrupted[-1] ^= 0xFF  # break the CRC, keep the names readable
+
+        async def handler(reader, writer):
+            await read_frame(reader)  # the HELLO
+            writer.write(
+                encode_frame(
+                    hello_ack_frame(
+                        unit_count=2, total_bytes=16, entry=None
+                    )
+                )
+            )
+            writer.write(good)
+            writer.write(bytes(corrupted))
+            await writer.drain()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        fetcher = NonStrictFetcher(host, port)
+        await fetcher.connect()
+        with pytest.raises(StreamDecodeError) as excinfo:
+            await fetcher.wait_until_complete()
+        error = excinfo.value
+        assert error.class_name == "Hot"
+        assert error.method_name == "run"
+        assert error.byte_offset == len(good)
+        assert "Hot.run" in str(error)
+        await fetcher.aclose()
+        server.close()
+        await server.wait_closed()
+
+    run(scenario())

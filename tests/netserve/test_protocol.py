@@ -20,8 +20,14 @@ from repro.netserve import (
     error_frame,
     hello_ack_frame,
     hello_frame,
+    resume_ack_frame,
+    resume_frame,
+    salvage_unit_key,
     unit_frame,
+    unit_kind_from_code,
+    unit_wire_key,
 )
+from repro.netserve.protocol import unit_kind_code
 from repro.program import MethodId
 from repro.transfer import TransferUnit, UnitKind
 
@@ -110,6 +116,61 @@ def test_control_frames_round_trip():
         assert decoded.field_dict == frame.field_dict
 
 
+def test_resume_round_trips_with_have_set():
+    have = [(1, "A", None), (4, "A", "run"), (4, "B", "main")]
+    encoded = encode_frame(
+        resume_frame("non_strict", "profile", have=have)
+    )
+    decoded, _ = decode_frame(encoded)
+    assert decoded.kind == FrameKind.RESUME
+    assert decoded.field_dict["policy"] == "non_strict"
+    assert decoded.field_dict["strategy"] == "profile"
+    assert [tuple(k) for k in decoded.field_dict["have"]] == [
+        (1, "A", None),
+        (4, "A", "run"),
+        (4, "B", "main"),
+    ]
+
+
+def test_resume_ack_round_trips():
+    frame = resume_ack_frame(
+        unit_count=3, total_bytes=120, skipped=5, entry=None
+    )
+    decoded, _ = decode_frame(encode_frame(frame))
+    assert decoded.kind == FrameKind.RESUME_ACK
+    assert decoded.field_dict == frame.field_dict
+
+
+def test_resend_demand_carries_kind_and_flag():
+    frame = demand_fetch_frame(
+        "Hot", "run", kind=UnitKind.METHOD, resend=True
+    )
+    decoded, _ = decode_frame(encode_frame(frame))
+    assert decoded.field_dict["resend"] is True
+    assert unit_kind_from_code(decoded.field_dict["kind"]) == (
+        UnitKind.METHOD
+    )
+    # The legacy shape stays untouched when the extras are absent.
+    plain = demand_fetch_frame("Hot", "run")
+    assert set(plain.field_dict) == {"class", "method"}
+
+
+@settings(max_examples=100, deadline=None)
+@given(transfer_units_with_payload())
+def test_unit_kind_codes_round_trip(unit_and_payload):
+    unit, _ = unit_and_payload
+    code = unit_kind_code(unit.kind)
+    assert unit_kind_from_code(code) == unit.kind
+    key = unit_wire_key(unit)
+    assert key[0] == code
+    assert key[1] == unit.class_name
+
+
+def test_unknown_unit_kind_code_raises():
+    with pytest.raises(FrameCorruptionError):
+        unit_kind_from_code(250)
+
+
 def test_concatenated_frames_decode_sequentially():
     unit = TransferUnit(
         kind=UnitKind.GLOBAL_DATA, class_name="A", size=4
@@ -163,6 +224,70 @@ def test_truncated_frame_raises_truncation_error(
     )
     with pytest.raises(TruncatedFrameError):
         decode_frame(encoded[:cut])
+
+
+@settings(max_examples=150, deadline=None)
+@given(transfer_units_with_payload(), st.data())
+def test_flipping_any_single_byte_raises_cleanly(
+    unit_and_payload, data
+):
+    """Corruption anywhere — header, names, payload, CRC — must
+    surface as a typed ProtocolError, never a struct/index error."""
+    unit, payload = unit_and_payload
+    encoded = bytearray(encode_frame(unit_frame(unit, payload)))
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(encoded) - 1)
+    )
+    encoded[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(encoded))
+
+
+# -- salvage ------------------------------------------------------------
+
+
+def test_salvage_recovers_unit_identity_from_payload_corruption():
+    unit = TransferUnit(
+        kind=UnitKind.METHOD,
+        class_name="Hot",
+        size=16,
+        method=MethodId("Hot", "run"),
+    )
+    encoded = bytearray(encode_frame(unit_frame(unit, b"\x07" * 16)))
+    encoded[-3] ^= 0xFF  # damage the payload/CRC, not the names
+    with pytest.raises(FrameCorruptionError):
+        decode_frame(bytes(encoded))
+    assert salvage_unit_key(bytes(encoded)) == unit_wire_key(unit)
+
+
+@settings(max_examples=100, deadline=None)
+@given(transfer_units_with_payload())
+def test_salvage_agrees_with_wire_key_on_intact_frames(
+    unit_and_payload
+):
+    unit, payload = unit_and_payload
+    encoded = encode_frame(unit_frame(unit, payload))
+    assert salvage_unit_key(encoded) == unit_wire_key(unit)
+
+
+def test_salvage_returns_none_for_garbage():
+    assert salvage_unit_key(b"") is None
+    assert salvage_unit_key(b"\x00" * 64) is None
+    # Non-unit frames have no unit identity to salvage.
+    assert salvage_unit_key(encode_frame(eof_frame())) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(transfer_units_with_payload(), st.data())
+def test_salvage_never_raises_on_corruption(unit_and_payload, data):
+    unit, payload = unit_and_payload
+    encoded = bytearray(encode_frame(unit_frame(unit, payload)))
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(encoded) - 1)
+    )
+    encoded[index] ^= data.draw(st.integers(min_value=1, max_value=255))
+    key = salvage_unit_key(bytes(encoded))  # must not throw
+    assert key is None or isinstance(key, tuple)
 
 
 def test_bad_magic_raises():

@@ -20,6 +20,10 @@ def fully_populated_recorder():
     recorder.demand_fetch(30.0, method="B.run")
     recorder.frame_sent(31.0, kind="UNIT", size=128)
     recorder.schedule_decision(32.0, action="promote", target="B")
+    recorder.fault_injected(33.0, fault="cut", detail=800, frame=3)
+    recorder.reconnect(34.0, attempt=1, backoff=0.05)
+    recorder.unit_retry(35.0, class_name="B", method="run", reason="crc")
+    recorder.degraded_to_strict(36.0, reason="4 reconnects exhausted")
     return recorder
 
 
