@@ -1,0 +1,49 @@
+"""EA: static analysis cost across the paper's benchmark suite.
+
+Runs the full lint pipeline (dataflow verification + transfer-plan
+proofs) over every bundled workload and reports per-program cost, so
+analysis overhead can be read next to the simulation benchmarks.
+"""
+
+from repro.analyze import Severity, run_lint
+from repro.harness import ResultTable
+from repro.workloads.spec import PAPER_BENCHMARKS
+from repro.workloads.synthetic import paper_workload
+
+
+def analyze_costs() -> ResultTable:
+    table = ResultTable(
+        key="analyze",
+        title="Static analysis cost (lint over paper workloads)",
+        columns=["Program", "Methods", "Findings", "Errors", "ms"],
+    )
+    for spec in PAPER_BENCHMARKS:
+        workload = paper_workload(spec)
+        report = run_lint(
+            workload.program,
+            trace=workload.test_trace,
+            cpi=workload.cpi,
+        )
+        table.add_row(
+            spec.name,
+            report.methods_analyzed,
+            len(report.findings),
+            report.by_severity().get(Severity.ERROR, 0),
+            report.runtime_seconds * 1000.0,
+        )
+    table.notes.append(
+        "trace model (test input); see EXPERIMENTS.md for the "
+        "predicted-vs-simulated stall recipe"
+    )
+    return table
+
+
+def test_analyze_costs(benchmark, show):
+    table = benchmark.pedantic(analyze_costs, rounds=1, iterations=1)
+    show(table)
+    assert table.column("Program") == [
+        spec.name for spec in PAPER_BENCHMARKS
+    ]
+    # Bundled workloads are well-formed: the verifier finds no errors.
+    assert all(errors == 0 for errors in table.column("Errors"))
+    assert all(methods > 0 for methods in table.column("Methods"))

@@ -1,0 +1,140 @@
+"""The abstract value domain for typed dataflow verification.
+
+The VM manipulates three concrete value kinds: 32-bit wrapping ints
+(arithmetic, branches, array indexes), arrays (Python lists created by
+``NEWARRAY``), and strings (``LDC`` of a ``StringEntry``).  The abstract
+domain mirrors them plus ``TOP`` — the join of conflicting kinds, i.e.
+"some value, kind statically unknown".
+
+The lattice is deliberately shallow::
+
+            TOP
+          /  |  \\
+        INT ARR STR
+
+There is no bottom element: an :class:`AbstractState` only exists for
+reachable instructions, so "unreachable" is modeled by *absence* of a
+state, exactly like the depth-only verifier this engine replaces.
+
+Two soundness decisions keep the checker a strict superset of the old
+depth-only verifier without rejecting any program the VM executes:
+
+* locals below ``max_locals`` that were never stored are typed ``INT``
+  — the VM zero-initializes missing slots, so loading one yields 0;
+* ``ALOAD`` pushes ``TOP``, not ``INT`` — ``ASTORE`` may legally store
+  any value, so element loads are statically unknowable.
+
+Type *errors* are therefore only reported when an operand's abstract
+type is a definite non-``TOP`` mismatch: the program is guaranteed to
+misbehave at runtime on that path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["ValType", "AbstractState", "join_types", "merge_states"]
+
+
+class ValType(enum.Enum):
+    """Abstract kind of one stack slot or local variable."""
+
+    INT = "int"
+    ARR = "arr"
+    STR = "str"
+    TOP = "top"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+
+def join_types(a: ValType, b: ValType) -> ValType:
+    """Least upper bound of two abstract types."""
+    if a is b:
+        return a
+    return ValType.TOP
+
+
+def compatible(actual: ValType, required: ValType) -> bool:
+    """Whether ``actual`` may hold a value of ``required`` kind.
+
+    ``TOP`` is compatible with everything (it *may* be the required
+    kind); a definite other kind is not.
+    """
+    return actual is ValType.TOP or actual is required
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """Typed operand stack and locals at one program point.
+
+    Attributes:
+        stack: Operand stack, bottom first (``stack[-1]`` is the top).
+        locals: One entry per local slot, ``max_locals`` long.
+    """
+
+    stack: Tuple[ValType, ...]
+    locals: Tuple[ValType, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+    def push(self, *types: ValType) -> "AbstractState":
+        return AbstractState(self.stack + types, self.locals)
+
+    def pop(self, count: int) -> "AbstractState":
+        if count == 0:
+            return self
+        return AbstractState(self.stack[:-count], self.locals)
+
+    def peek(self, depth_from_top: int = 0) -> ValType:
+        return self.stack[-1 - depth_from_top]
+
+    def store_local(self, slot: int, value: ValType) -> "AbstractState":
+        updated = list(self.locals)
+        updated[slot] = value
+        return AbstractState(self.stack, tuple(updated))
+
+    @classmethod
+    def method_entry(
+        cls, parameters: Tuple[str, ...], max_locals: int
+    ) -> "AbstractState":
+        """Entry state: parameters in the first slots, INT elsewhere.
+
+        A parameter declared ``A`` is definitely an array.  ``I`` in a
+        descriptor means "one machine word": the surface language does
+        not type parameters, so the compiler writes ``I`` even for
+        arguments that hold arrays at runtime — those slots enter as
+        TOP.  The VM zero-extends locals, so an unstored slot beyond
+        the parameters reads as the int 0 — never as an undefined
+        value.
+        """
+        slots = [
+            ValType.ARR if parameter == "A" else ValType.TOP
+            for parameter in parameters
+        ]
+        slots.extend([ValType.INT] * (max_locals - len(slots)))
+        return cls(stack=(), locals=tuple(slots))
+
+
+def merge_states(
+    a: AbstractState, b: AbstractState
+) -> Optional[AbstractState]:
+    """Pointwise join of two states at a control-flow join.
+
+    Returns:
+        The joined state, or ``None`` when the stack depths disagree —
+        the same structural error the depth-only verifier rejected.
+    """
+    if len(a.stack) != len(b.stack):
+        return None
+    stack = tuple(
+        join_types(x, y) for x, y in zip(a.stack, b.stack)
+    )
+    locals_ = tuple(
+        join_types(x, y) for x, y in zip(a.locals, b.locals)
+    )
+    return AbstractState(stack, locals_)

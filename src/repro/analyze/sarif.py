@@ -1,0 +1,244 @@
+"""SARIF 2.1.0 and plain-JSON exporters for lint reports.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+systems ingest for code-scanning annotations.  The exporter emits the
+minimal valid subset — ``version``, ``$schema``, one ``run`` with a
+``tool.driver`` (name, version, rules) and ``results`` carrying
+``ruleId``/``ruleIndex``/``level``/``message``/``locations`` — and
+:func:`validate_sarif` structurally checks that subset without a JSON
+Schema dependency, so tests can assert validity hermetically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import AnalysisError
+from .lint import Finding, LintReport, Severity
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+    "to_sarif",
+    "to_json",
+    "sarif_dumps",
+    "validate_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Severity → SARIF ``level``.
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _tool_version() -> str:
+    # Resolved at call time: repro/__init__ may still be mid-import
+    # when this module loads.
+    from .. import __version__
+
+    return str(__version__)
+
+
+def _result(finding: Finding, rule_index: int) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.span.uri},
+            "region": {
+                "startLine": (finding.span.instruction_index or 0) + 1
+            },
+        },
+        "logicalLocations": [
+            {"fullyQualifiedName": finding.span.qualified_name}
+        ],
+    }
+    return {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [location],
+    }
+
+
+def to_sarif(report: LintReport, tool_name: str = "repro-inspect") -> Dict[str, Any]:
+    """Render a lint report as a SARIF 2.1.0 document (a plain dict)."""
+    rules = sorted(report.rules, key=lambda rule: rule.rule_id)
+    rule_index = {rule.rule_id: index for index, rule in enumerate(rules)}
+    driver: Dict[str, Any] = {
+        "name": tool_name,
+        "version": _tool_version(),
+        "informationUri": "https://example.invalid/repro",
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+                "defaultConfiguration": {
+                    "level": _LEVELS[rule.severity]
+                },
+            }
+            for rule in rules
+        ],
+    }
+    results = [
+        _result(finding, rule_index.get(finding.rule_id, -1))
+        for finding in report.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_dumps(report: LintReport, tool_name: str = "repro-inspect") -> str:
+    return json.dumps(to_sarif(report, tool_name), indent=2, sort_keys=True)
+
+
+def to_json(report: LintReport) -> Dict[str, Any]:
+    """Plain-JSON view of a lint report (scripting-friendly)."""
+    return {
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "severity": finding.severity.value,
+                "message": finding.message,
+                "class": finding.span.class_name,
+                "method": finding.span.method_name,
+                "instruction": finding.span.instruction_index,
+            }
+            for finding in report.findings
+        ],
+        "counts": {
+            severity.value: count
+            for severity, count in sorted(
+                report.by_severity().items(), key=lambda kv: kv[0].value
+            )
+        },
+        "methods_analyzed": report.methods_analyzed,
+        "runtime_seconds": report.runtime_seconds,
+        "notes": list(report.notes),
+    }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise AnalysisError(f"invalid SARIF: {message}")
+
+
+def validate_sarif(document: Any) -> None:
+    """Structurally validate the SARIF 2.1.0 subset this repo emits.
+
+    A hand-written check of the normative constraints the exporter
+    relies on (the OASIS JSON Schema, reduced to the emitted subset),
+    so tests need no external schema library.
+
+    Raises:
+        AnalysisError: On the first violated constraint.
+    """
+    _require(isinstance(document, dict), "document must be an object")
+    _require(
+        document.get("version") == SARIF_VERSION,
+        f"version must be {SARIF_VERSION!r}",
+    )
+    schema = document.get("$schema")
+    _require(
+        schema is None or isinstance(schema, str),
+        "$schema must be a string when present",
+    )
+    runs = document.get("runs")
+    _require(isinstance(runs, list) and runs, "runs must be a non-empty array")
+    for run in runs:
+        _require(isinstance(run, dict), "run must be an object")
+        tool = run.get("tool")
+        _require(isinstance(tool, dict), "run.tool is required")
+        driver = tool.get("driver")
+        _require(isinstance(driver, dict), "tool.driver is required")
+        _require(
+            isinstance(driver.get("name"), str) and driver["name"],
+            "driver.name must be a non-empty string",
+        )
+        rules = driver.get("rules", [])
+        _require(isinstance(rules, list), "driver.rules must be an array")
+        rule_ids: List[str] = []
+        for rule in rules:
+            _require(isinstance(rule, dict), "rule must be an object")
+            _require(
+                isinstance(rule.get("id"), str) and rule["id"],
+                "rule.id must be a non-empty string",
+            )
+            rule_ids.append(rule["id"])
+            configuration = rule.get("defaultConfiguration")
+            if configuration is not None:
+                _require(
+                    configuration.get("level")
+                    in ("none", "note", "warning", "error"),
+                    "defaultConfiguration.level must be a SARIF level",
+                )
+        results = run.get("results")
+        _require(
+            isinstance(results, list),
+            "run.results must be an array when present",
+        )
+        for result in results:
+            _require(isinstance(result, dict), "result must be an object")
+            message = result.get("message")
+            _require(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                "result.message.text is required",
+            )
+            _require(
+                result.get("level")
+                in ("none", "note", "warning", "error"),
+                "result.level must be a SARIF level",
+            )
+            rule_id = result.get("ruleId")
+            if rule_id is not None:
+                _require(
+                    isinstance(rule_id, str) and bool(rule_id),
+                    "result.ruleId must be a non-empty string",
+                )
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None and rule_index != -1:
+                _require(
+                    isinstance(rule_index, int)
+                    and 0 <= rule_index < len(rule_ids),
+                    "result.ruleIndex must index driver.rules",
+                )
+                if rule_id is not None:
+                    _require(
+                        rule_ids[rule_index] == rule_id,
+                        "result.ruleIndex must match result.ruleId",
+                    )
+            for location in result.get("locations", []):
+                physical = location.get("physicalLocation")
+                if physical is None:
+                    continue
+                artifact = physical.get("artifactLocation", {})
+                uri = artifact.get("uri")
+                _require(
+                    uri is None or isinstance(uri, str),
+                    "artifactLocation.uri must be a string",
+                )
+                region = physical.get("region")
+                if region is not None:
+                    start_line = region.get("startLine")
+                    _require(
+                        start_line is None
+                        or (isinstance(start_line, int) and start_line >= 1),
+                        "region.startLine must be a positive integer",
+                    )

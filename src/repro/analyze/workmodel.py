@@ -1,0 +1,159 @@
+"""A conservative model of the work done before each method's first use.
+
+The transfer-plan analyzer needs to place every method's *first
+invocation* on a timeline without running the program.  The sound
+direction is a **lower bound**: at least how many instructions must the
+VM execute, on *any* run, before ``m``'s first instruction?  If a
+method's transfer unit provably arrives before even that minimum work
+has been done, the method can never stall.
+
+The bound is a shortest path over the interprocedural call structure:
+
+* within one method, the cheapest route from the entry block to a call
+  site is a block-level shortest path (Dijkstra; a block's weight is
+  its instruction count), plus the call's position inside its block,
+  plus one for the ``CALL`` itself — which always executes before the
+  callee's first instruction;
+* across methods, ``bound(callee) ≤ bound(caller) + cheapest route to
+  any call site targeting it``, relaxed with a second Dijkstra over
+  methods.
+
+Callee bodies along the way are costed at the single ``CALL``
+instruction — real executions only run *more* instructions, never
+fewer, so the bound stays sound.  Recursion and mutual recursion need
+no special casing: cycles simply never relax below the first entry
+cost.  Methods unreachable from the entry point get an infinite bound
+(and are dead-code candidates, which the transfer-plan analyzer
+reports separately).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg import CallGraph, ControlFlowGraph, build_call_graph
+from ..program import MethodId, Program
+
+__all__ = ["FirstUseLowerBounds", "first_use_lower_bounds"]
+
+
+def _block_entry_costs(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Minimum instructions executed before each block's first
+    instruction, from the method entry block."""
+    weights = {
+        block.block_id: len(block.instructions) for block in cfg.blocks
+    }
+    dist: Dict[int, int] = {cfg.entry.block_id: 0}
+    heap: List[Tuple[int, int]] = [(0, cfg.entry.block_id)]
+    while heap:
+        cost, block_id = heapq.heappop(heap)
+        if cost > dist.get(block_id, math.inf):
+            continue
+        through = cost + weights[block_id]
+        for target in cfg.successors(block_id):
+            if through < dist.get(target, math.inf):
+                dist[target] = through
+                heapq.heappush(heap, (through, target))
+    return dist
+
+
+def _call_costs(
+    cfg: ControlFlowGraph,
+) -> List[Tuple[int, int]]:
+    """``(instruction_index, min instructions through the CALL)`` for
+    every call site reachable from the method entry."""
+    entry_costs = _block_entry_costs(cfg)
+    costs: List[Tuple[int, int]] = []
+    for block in cfg.blocks:
+        base = entry_costs.get(block.block_id)
+        if base is None:  # unreachable block: its calls never execute
+            continue
+        for call_site in block.call_sites:
+            position = block.instruction_indexes.index(
+                call_site.instruction_index
+            )
+            costs.append((call_site.instruction_index, base + position + 1))
+    return costs
+
+
+@dataclass
+class FirstUseLowerBounds:
+    """Sound lower bounds on pre-first-use work, per method.
+
+    Attributes:
+        entry: The program entry point the bounds are rooted at.
+        bounds: Minimum instructions executed strictly before each
+            method's first instruction; ``math.inf`` for methods not
+            reachable from the entry through the call graph.
+        call_graph: The underlying call graph (reused by callers for
+            dead-method detection).
+    """
+
+    entry: MethodId
+    bounds: Dict[MethodId, float]
+    call_graph: CallGraph
+
+    def bound(self, method_id: MethodId) -> float:
+        return self.bounds.get(method_id, math.inf)
+
+    def reachable(self, method_id: MethodId) -> bool:
+        return math.isfinite(self.bound(method_id))
+
+
+def first_use_lower_bounds(
+    program: Program,
+    call_graph: Optional[CallGraph] = None,
+) -> FirstUseLowerBounds:
+    """Compute per-method lower bounds on work before first use.
+
+    Args:
+        program: The program to analyze (restructured or not — the
+            bounds depend only on code, not layout).
+        call_graph: Reuse an already-built call graph.
+
+    Raises:
+        CFGError: If a method body is structurally invalid (only when
+            ``call_graph`` is not supplied).
+        ClassFileError: If the program has no valid entry point.
+    """
+    graph = call_graph if call_graph is not None else build_call_graph(program)
+    entry = program.resolve_entry()
+
+    # Cheapest route from each caller's entry to each internal callee.
+    cheapest_edge: Dict[MethodId, Dict[MethodId, int]] = {}
+    for method_id in graph.methods:
+        edges = [edge for edge in graph.calls_from(method_id) if edge.internal]
+        if not edges:
+            continue
+        cost_by_index = dict(_call_costs(graph.cfg(method_id)))
+        per_callee: Dict[MethodId, int] = {}
+        for edge in edges:
+            cost = cost_by_index.get(edge.instruction_index)
+            if cost is None:  # call site in an unreachable block
+                continue
+            previous = per_callee.get(edge.callee)
+            if previous is None or cost < previous:
+                per_callee[edge.callee] = cost
+        if per_callee:
+            cheapest_edge[method_id] = per_callee
+
+    bounds: Dict[MethodId, float] = {
+        method_id: math.inf for method_id in graph.methods
+    }
+    bounds[entry] = 0.0
+    heap: List[Tuple[float, int, MethodId]] = [(0.0, 0, entry)]
+    tiebreak = 1
+    while heap:
+        cost, _, method_id = heapq.heappop(heap)
+        if cost > bounds.get(method_id, math.inf):
+            continue
+        for callee, edge_cost in cheapest_edge.get(method_id, {}).items():
+            relaxed = cost + edge_cost
+            if relaxed < bounds.get(callee, math.inf):
+                bounds[callee] = relaxed
+                heapq.heappush(heap, (relaxed, tiebreak, callee))
+                tiebreak += 1
+    return FirstUseLowerBounds(entry=entry, bounds=bounds, call_graph=graph)

@@ -165,44 +165,91 @@ def _forward_edges(
     return successors
 
 
-def _forward_topo_order(
-    cfg: ControlFlowGraph, successors: Dict[int, List[int]]
-) -> List[int]:
-    visited: Set[int] = set()
-    order: List[int] = []
+def _strongly_connected_components(
+    successors: Dict[int, List[int]]
+) -> List[List[int]]:
+    """Tarjan's SCC algorithm, iterative.
+
+    Components are emitted in *reverse topological* order of the
+    condensation (every component appears before any component that can
+    reach it), which is exactly the sweep order the forward analyses
+    need.  Dominance-based back-edge removal only breaks reducible
+    cycles, so irreducible regions (and unreachable cycles) survive in
+    the "forward" graph — condensing them first makes the sweeps exact
+    instead of silently undercounting whenever a plain DFS postorder
+    happened to visit a cycle in the wrong order.
+    """
+    index: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
 
     for root in successors:
-        if root in visited:
+        if root in index:
             continue
-        stack: List[Tuple[int, object]] = [(root, iter(successors[root]))]
-        visited.add(root)
-        while stack:
-            current, iterator = stack[-1]
+        work: List[Tuple[int, object]] = [(root, iter(successors[root]))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, iterator = work[-1]
             advanced = False
-            for successor in iterator:
-                if successor not in visited:
-                    visited.add(successor)
-                    stack.append(
+            for successor in iterator:  # type: ignore[attr-defined]
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
                         (successor, iter(successors[successor]))
                     )
                     advanced = True
                     break
-            if not advanced:
-                order.append(current)
-                stack.pop()
-    return order  # postorder: successors before predecessors
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
 
 
 def _forward_reachability(cfg, back_edges, seed, combine, empty):
-    """Per-block set union over the forward DAG (postorder sweep)."""
+    """Per-block set union over the forward graph.
+
+    Sweeps the SCC condensation in reverse topological order, so the
+    result is exact even when the forward graph retains cycles
+    (irreducible regions, unreachable cycles): every member of a
+    component reaches every other, so all members share the union of
+    the component's seeds plus everything its exits reach.
+    """
     successors = _forward_edges(cfg, back_edges)
-    order = _forward_topo_order(cfg, successors)
+    components = _strongly_connected_components(successors)
     result: Dict[int, Set[int]] = {}
-    for block_id in order:
-        value = set(seed.get(block_id, empty()))
-        for successor in successors[block_id]:
-            value = combine(value, result.get(successor, empty()))
-        result[block_id] = value
+    for component in components:
+        members = set(component)
+        value = empty()
+        for block_id in component:
+            value = combine(value, set(seed.get(block_id, empty())))
+            for successor in successors[block_id]:
+                if successor not in members:
+                    value = combine(value, result[successor])
+        for block_id in component:
+            result[block_id] = value
     return result
 
 
@@ -211,18 +258,26 @@ def _forward_sum(
     back_edges: Set[Tuple[int, int]],
     seed: Dict[int, int],
 ) -> Dict[int, int]:
-    """Max-over-paths sum of ``seed`` along the forward DAG.
+    """Max-over-paths sum of ``seed`` along the forward graph.
 
     Used as the estimator's tie-breaker: "static instructions for each
     path of the graph" — we take the heaviest path from each block.
+    Non-trivial SCCs (irreducible residue the dominance-based back-edge
+    filter could not break) are condensed: each member counts the whole
+    component once plus the heaviest exit path, matching how the
+    reducible case charges a loop body once per static walk.
     """
     successors = _forward_edges(cfg, back_edges)
-    order = _forward_topo_order(cfg, successors)
+    components = _strongly_connected_components(successors)
     result: Dict[int, int] = {}
-    for block_id in order:
-        best_successor = max(
-            (result.get(successor, 0) for successor in successors[block_id]),
-            default=0,
-        )
-        result[block_id] = seed.get(block_id, 0) + best_successor
+    for component in components:
+        members = set(component)
+        internal = sum(seed.get(block_id, 0) for block_id in component)
+        best_exit = 0
+        for block_id in component:
+            for successor in successors[block_id]:
+                if successor not in members:
+                    best_exit = max(best_exit, result[successor])
+        for block_id in component:
+            result[block_id] = internal + best_exit
     return result

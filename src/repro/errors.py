@@ -113,3 +113,7 @@ class CompileError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload specification or synthesis failure."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis was asked something it cannot answer."""

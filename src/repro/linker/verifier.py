@@ -12,6 +12,10 @@ The JVM's five verification steps map onto our model as:
    boundaries, CALL/LDC/GETSTATIC operands resolve to the right pool
    entry types, and the operand stack is statically consistent (no
    underflow, consistent depth at joins, within ``max_stack``).
+   Step 3 delegates to the typed abstract-interpretation engine in
+   :mod:`repro.analyze.dataflow`, so it also rejects *definite type
+   errors* (e.g. arithmetic on a string, ``ARRAYLEN`` of an int) that
+   the old depth-only walk accepted — a strict superset of checks.
 4. **Runtime checks** — performed as procedures execute (the VM's
    bounds/type checks).
 
@@ -23,9 +27,6 @@ ordering.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
-
-from ..bytecode import OPCODE_TABLE, Instruction, Opcode, SysCall, offsets_of
 from ..classfile import (
     ClassFile,
     ClassEntry,
@@ -35,7 +36,6 @@ from ..classfile import (
     MethodRefEntry,
     NameAndTypeEntry,
     Utf8Entry,
-    parse_descriptor,
 )
 from ..errors import VerificationError
 
@@ -110,172 +110,27 @@ def verify_global_data(classfile: ClassFile) -> None:
             )
 
 
-def _call_effect(
-    classfile: ClassFile, instruction: Instruction
-) -> Tuple[int, int]:
-    pool = classfile.constant_pool
-    entry = pool.get(instruction.operand)
-    if not isinstance(entry, MethodRefEntry):
-        raise VerificationError(
-            f"{classfile.name}: CALL operand {instruction.operand} is "
-            f"{type(entry).__name__}, expected MethodRefEntry"
-        )
-    _, _, descriptor = pool.member_ref(instruction.operand)
-    parsed = parse_descriptor(descriptor)
-    return parsed.arity, 1 if parsed.returns_value else 0
-
-
-def _sys_effect(instruction: Instruction) -> Tuple[int, int]:
-    try:
-        return SysCall.STACK_EFFECT[instruction.operand]
-    except KeyError as exc:
-        raise VerificationError(
-            f"unknown SYS code {instruction.operand}"
-        ) from exc
-
-
-def _operand_checks(
-    classfile: ClassFile, method: MethodInfo, instruction: Instruction
-) -> None:
-    pool = classfile.constant_pool
-    opcode = instruction.opcode
-    if opcode == Opcode.LDC:
-        try:
-            pool.constant_value(instruction.operand)
-        except Exception as exc:
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: LDC operand "
-                f"{instruction.operand} is not a loadable constant"
-            ) from exc
-    elif opcode in (Opcode.GETSTATIC, Opcode.PUTSTATIC):
-        entry = pool.get(instruction.operand)
-        if not isinstance(entry, FieldRefEntry):
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: GETSTATIC/PUTSTATIC "
-                f"operand {instruction.operand} is not a FieldRef"
-            )
-    elif opcode in (Opcode.LOAD, Opcode.STORE):
-        if instruction.operand >= method.max_locals:
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: local slot "
-                f"{instruction.operand} >= max_locals "
-                f"{method.max_locals}"
-            )
-
-
 def verify_method(classfile: ClassFile, method: MethodInfo) -> None:
     """Step 3: static checks on one procedure's bytecode.
 
-    Runs dataflow over the instruction stream to prove the operand
-    stack never underflows, never exceeds ``max_stack``, and has a
-    consistent depth at every join point.
+    Delegates to the typed abstract-interpretation engine
+    (:func:`repro.analyze.dataflow.analyze_method`): operand-stack
+    depth safety (no underflow, within ``max_stack``, consistent at
+    joins), operand well-formedness (pool entry kinds, local slots,
+    SYS codes, branch targets), descriptor agreement at returns, and —
+    beyond the historical depth-only walk — definite operand *type*
+    errors that are guaranteed to fault at runtime.
 
     Raises:
-        VerificationError: On any violated check.
+        VerificationError: On the first violated check.
     """
-    instructions = method.instructions
-    if not instructions:
-        raise VerificationError(
-            f"{classfile.name}.{method.name}: empty code"
-        )
-    descriptor = parse_descriptor(method.descriptor)
-    if descriptor.arity > method.max_locals:
-        raise VerificationError(
-            f"{classfile.name}.{method.name}: {descriptor.arity} "
-            f"parameters exceed max_locals {method.max_locals}"
-        )
-    offsets = offsets_of(instructions)
-    offset_to_index = {
-        offset: index for index, offset in enumerate(offsets)
-    }
-    end = offsets[-1] + instructions[-1].size
+    # Imported here: repro.analyze also serves non-verifier callers and
+    # pulls in the cfg layer; the linker package stays light to import.
+    from ..analyze.dataflow import analyze_method
 
-    depth_at: Dict[int, int] = {0: 0}
-    worklist: List[int] = [0]
-    visited: Set[int] = set()
-
-    def flow_to(index: int, depth: int, source: str) -> None:
-        if index >= len(instructions):
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: control flows off "
-                f"the end after {source}"
-            )
-        known = depth_at.get(index)
-        if known is None:
-            depth_at[index] = depth
-            worklist.append(index)
-        elif known != depth:
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: inconsistent stack "
-                f"depth at instruction {index} ({known} vs {depth})"
-            )
-
-    while worklist:
-        index = worklist.pop()
-        if index in visited:
-            continue
-        visited.add(index)
-        instruction = instructions[index]
-        depth = depth_at[index]
-        _operand_checks(classfile, method, instruction)
-
-        if instruction.opcode == Opcode.CALL:
-            pops, pushes = _call_effect(classfile, instruction)
-        elif instruction.opcode == Opcode.SYS:
-            pops, pushes = _sys_effect(instruction)
-        else:
-            info = OPCODE_TABLE[instruction.opcode]
-            pops, pushes = info.pops, info.pushes
-        depth -= pops
-        if depth < 0:
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: stack underflow at "
-                f"instruction {index} ({instruction.mnemonic})"
-            )
-        depth += pushes
-        if depth > method.max_stack:
-            raise VerificationError(
-                f"{classfile.name}.{method.name}: stack depth {depth} "
-                f"exceeds max_stack {method.max_stack}"
-            )
-
-        info = instruction.info
-        if info.is_return:
-            expected = 0
-            if instruction.opcode == Opcode.RETURN and (
-                descriptor.returns_value
-            ):
-                raise VerificationError(
-                    f"{classfile.name}.{method.name}: RETURN in a "
-                    "value-returning method"
-                )
-            if instruction.opcode == Opcode.IRETURN and not (
-                descriptor.returns_value
-            ):
-                raise VerificationError(
-                    f"{classfile.name}.{method.name}: IRETURN in a "
-                    "void method"
-                )
-            if depth != expected:
-                raise VerificationError(
-                    f"{classfile.name}.{method.name}: {depth} values "
-                    f"left on the stack at return"
-                )
-            continue
-        if info.is_branch:
-            target_offset = instruction.branch_target(offsets[index])
-            target = offset_to_index.get(target_offset)
-            if target is None or not 0 <= target_offset < end:
-                raise VerificationError(
-                    f"{classfile.name}.{method.name}: branch at "
-                    f"instruction {index} targets invalid offset "
-                    f"{target_offset}"
-                )
-            flow_to(target, depth, instruction.mnemonic)
-            if info.is_conditional:
-                flow_to(index + 1, depth, instruction.mnemonic)
-            continue
-        flow_to(index + 1, depth, instruction.mnemonic)
+    dataflow = analyze_method(classfile, method)
+    if not dataflow.ok:
+        raise VerificationError(dataflow.issues[0].message)
 
 
 def verify_class(classfile: ClassFile) -> None:

@@ -21,6 +21,7 @@ from typing import Dict
 
 _EXPORTS: Dict[str, str] = {
     # events
+    "ANALYSIS_FINDING": "events",
     "DEGRADED_TO_STRICT": "events",
     "DEMAND_FETCH": "events",
     "EVENT_CATEGORIES": "events",

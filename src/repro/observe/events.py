@@ -22,7 +22,8 @@ Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
 * ``reconnect`` — the resilient client re-dialled after a failure;
 * ``unit_retry`` — one damaged unit was re-requested on its own;
 * ``degraded_to_strict`` — resilience gave up on overlap and fell back
-  to a one-shot strict whole-file transfer.
+  to a one-shot strict whole-file transfer;
+* ``analysis_finding`` — the static analyzer reported a lint finding.
 """
 
 from __future__ import annotations
@@ -45,6 +46,7 @@ __all__ = [
     "RECONNECT",
     "UNIT_RETRY",
     "DEGRADED_TO_STRICT",
+    "ANALYSIS_FINDING",
     "validate_event",
 ]
 
@@ -59,6 +61,7 @@ FAULT_INJECTED = "fault_injected"
 RECONNECT = "reconnect"
 UNIT_RETRY = "unit_retry"
 DEGRADED_TO_STRICT = "degraded_to_strict"
+ANALYSIS_FINDING = "analysis_finding"
 
 #: Required ``args`` keys per event name.  Emitters may add extra keys
 #: (they survive every exporter round-trip), but these must be present.
@@ -74,6 +77,7 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     RECONNECT: ("attempt",),
     UNIT_RETRY: ("class_name",),
     DEGRADED_TO_STRICT: ("reason",),
+    ANALYSIS_FINDING: ("rule", "severity", "target"),
 }
 
 #: Display lane per event name (Chrome trace "thread", ASCII timeline
@@ -90,6 +94,7 @@ EVENT_CATEGORIES: Dict[str, str] = {
     RECONNECT: "schedule",
     UNIT_RETRY: "schedule",
     DEGRADED_TO_STRICT: "schedule",
+    ANALYSIS_FINDING: "analyze",
 }
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, List, Optional
 
 from .events import (
+    ANALYSIS_FINDING,
     DEGRADED_TO_STRICT,
     DEMAND_FETCH,
     FAULT_INJECTED,
@@ -184,3 +185,17 @@ class TraceRecorder:
         if not self.enabled:
             return
         self.emit(DEGRADED_TO_STRICT, ts, reason=reason, **extra)
+
+    def analysis_finding(
+        self, ts: float, rule: str, severity: str, target: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            ANALYSIS_FINDING,
+            ts,
+            rule=rule,
+            severity=severity,
+            target=target,
+            **extra,
+        )

@@ -8,6 +8,10 @@ Subcommands (all operate on a program directory written by
 * ``partition DIR`` — Table-9-style global data split per class;
 * ``order DIR`` — the static first-use order;
 * ``verify DIR`` — run the full verifier over every class;
+* ``lint DIR`` (or ``lint --workload NAME``) — run every static
+  analysis rule (typed dataflow, transfer-plan stall/deadlock proofs,
+  dead methods) and export findings as SARIF 2.1.0 / JSON; exits
+  nonzero when an error-severity finding is present;
 * ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
   stored trace against strict and non-strict transfer;
 * ``trace DIR TRACE --out trace.json`` — run one traced configuration
@@ -114,6 +118,71 @@ def _cmd_verify(arguments) -> int:
             failures += 1
             print(f"FAIL  {classfile.name}: {error}")
     return 1 if failures else 0
+
+
+def _cmd_lint(arguments) -> int:
+    import json
+
+    from .analyze import run_lint, sarif_dumps, to_json
+    from .observe import MetricsRegistry
+
+    if (arguments.directory is None) == (arguments.workload is None):
+        print(
+            "error: give either a program directory or --workload NAME",
+            file=sys.stderr,
+        )
+        return 2
+    trace = None
+    if arguments.workload is not None:
+        from .workloads.spec import benchmark_spec
+        from .workloads.synthetic import paper_workload
+
+        workload = paper_workload(benchmark_spec(arguments.workload))
+        program = workload.program
+        trace = workload.test_trace
+        cpi = workload.cpi if arguments.cpi is None else arguments.cpi
+    else:
+        program = load_program(arguments.directory)
+        cpi = 30.0 if arguments.cpi is None else arguments.cpi
+    if arguments.trace:
+        trace = load_trace(arguments.trace)
+
+    metrics = MetricsRegistry()
+    report = run_lint(
+        program,
+        link=_LINKS[arguments.link],
+        cpi=cpi,
+        trace=trace,
+        metrics=metrics,
+    )
+    severities = {
+        severity.value: count
+        for severity, count in sorted(
+            report.by_severity().items(), key=lambda kv: kv[0].value
+        )
+    }
+    model = "trace" if trace is not None else "static"
+    print(
+        f"analyzed {report.methods_analyzed} methods in "
+        f"{report.runtime_seconds * 1e3:.1f} ms ({model} model)"
+    )
+    for note in report.notes:
+        print(f"note: {note}")
+    for finding in report.findings:
+        print(
+            f"{finding.severity.value:7s} {finding.rule_id:22s} "
+            f"{finding.span.qualified_name}: {finding.message}"
+        )
+    print(f"findings: {severities or 'none'}")
+    if arguments.sarif:
+        Path(arguments.sarif).write_text(sarif_dumps(report))
+        print(f"sarif:    {arguments.sarif}")
+    if arguments.json:
+        Path(arguments.json).write_text(
+            json.dumps(to_json(report), indent=2, sort_keys=True)
+        )
+        print(f"json:     {arguments.json}")
+    return 1 if report.has_errors else 0
 
 
 def _cmd_simulate(arguments) -> int:
@@ -414,6 +483,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify = commands.add_parser("verify", help="verify every class")
     verify.add_argument("directory")
     verify.set_defaults(handler=_cmd_verify)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run static analysis rules; nonzero exit on errors",
+    )
+    lint.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="stored program directory (or use --workload)",
+    )
+    lint.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="lint a bundled synthetic workload (BIT, Hanoi, JavaCup, "
+        "Jess, JHLZip, TestDes) with its test trace",
+    )
+    lint.add_argument(
+        "--trace",
+        default=None,
+        help="stored execution trace enabling the precise interval "
+        "replay (guaranteed-misprediction proofs)",
+    )
+    lint.add_argument(
+        "--link", choices=sorted(_LINKS), default="t1"
+    )
+    lint.add_argument(
+        "--cpi",
+        type=float,
+        default=None,
+        help="cycles per instruction (default: the workload's "
+        "calibrated CPI, or 30)",
+    )
+    lint.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="write findings as SARIF 2.1.0 here",
+    )
+    lint.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write findings as plain JSON here",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     simulate = commands.add_parser(
         "simulate", help="co-simulate a stored trace"

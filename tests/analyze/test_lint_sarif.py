@@ -1,0 +1,194 @@
+"""The lint framework, its exporters, and the repro-inspect lint CLI."""
+
+import json
+
+import pytest
+
+from repro import record_run, save_program, save_trace
+from repro.analyze import (
+    Severity,
+    all_rules,
+    run_lint,
+    sarif_dumps,
+    to_json,
+    to_sarif,
+    validate_sarif,
+)
+from repro.bytecode import assemble
+from repro.classfile import ClassFileBuilder
+from repro.errors import AnalysisError
+from repro.observe import MetricsRegistry, TraceRecorder
+from repro.program import Program
+from repro.tools import main
+from repro.workloads import figure1_program
+
+EXPECTED_RULE_IDS = {
+    "type-error",
+    "schedule-deadlock",
+    "guaranteed-mispredict",
+    "dead-method",
+    "proven-stall",
+}
+
+
+def broken_program():
+    """A runnable program whose helper has a definite type error."""
+    builder = ClassFileBuilder("Bad")
+    index = builder.add_string_constant("oops")
+    builder.add_method("main", "()V", assemble("return"))
+    builder.add_method(
+        "helper", "()V", assemble(f"ldc {index}\niconst 1\nadd\npop\nreturn")
+    )
+    return Program(classes=[builder.build()])
+
+
+def test_registry_contains_the_documented_rules():
+    assert {rule.rule_id for rule in all_rules()} == EXPECTED_RULE_IDS
+
+
+def test_lint_clean_program_with_trace():
+    program = figure1_program()
+    _, recorder = record_run(program)
+    report = run_lint(program, trace=recorder.trace)
+    assert not report.has_errors
+    assert report.methods_analyzed == 5
+    assert report.runtime_seconds > 0
+    # Figure 1's textual layout provably stalls on a T1 line.
+    assert report.by_rule().get("proven-stall", 0) >= 1
+    assert all(
+        finding.severity is not Severity.ERROR
+        for finding in report.findings
+    )
+
+
+def test_lint_flags_type_errors():
+    report = run_lint(broken_program())
+    assert report.has_errors
+    errors = [
+        finding
+        for finding in report.findings
+        if finding.rule_id == "type-error"
+    ]
+    assert errors and errors[0].span.qualified_name == "Bad.helper"
+
+
+def test_lint_publishes_metrics_and_events():
+    metrics = MetricsRegistry()
+    recorder = TraceRecorder(clock="seconds")
+    report = run_lint(
+        broken_program(), metrics=metrics, recorder=recorder
+    )
+    assert metrics.counter_total("analyze_findings_total") == len(
+        report.findings
+    )
+    events = recorder.named("analysis_finding")
+    assert len(events) == len(report.findings)
+    assert any(
+        event.args["rule"] == "type-error" for event in events
+    )
+
+
+def test_sarif_export_is_valid():
+    program = figure1_program()
+    _, recorder = record_run(program)
+    report = run_lint(program, trace=recorder.trace)
+    document = to_sarif(report)
+    validate_sarif(document)  # must not raise
+    reparsed = json.loads(sarif_dumps(report))
+    validate_sarif(reparsed)
+    run = reparsed["runs"][0]
+    assert {rule["id"] for rule in run["tool"]["driver"]["rules"]} == (
+        EXPECTED_RULE_IDS
+    )
+    assert len(run["results"]) == len(report.findings)
+    for result in run["results"]:
+        assert result["level"] in ("note", "warning", "error")
+
+
+def test_json_export_counts():
+    report = run_lint(broken_program())
+    payload = to_json(report)
+    assert len(payload["findings"]) == len(report.findings)
+    assert payload["counts"]["error"] >= 1
+    assert payload["methods_analyzed"] == report.methods_analyzed
+
+
+@pytest.mark.parametrize(
+    "mutate, message_part",
+    [
+        (lambda d: d.update(version="2.0.0"), "version"),
+        (lambda d: d.update(runs=[]), "runs"),
+        (
+            lambda d: d["runs"][0]["tool"]["driver"].pop("name"),
+            "driver.name",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(level="fatal"),
+            "level",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0].update(ruleIndex=99),
+            "ruleIndex",
+        ),
+        (
+            lambda d: d["runs"][0]["results"][0]["locations"][0][
+                "physicalLocation"
+            ]["region"].update(startLine=0),
+            "startLine",
+        ),
+    ],
+)
+def test_malformed_sarif_rejected(mutate, message_part):
+    report = run_lint(broken_program())
+    document = to_sarif(report)
+    mutate(document)
+    with pytest.raises(AnalysisError) as excinfo:
+        validate_sarif(document)
+    assert message_part in str(excinfo.value)
+
+
+# -- the CLI gate -------------------------------------------------------
+
+
+def test_cli_lint_clean_program_exits_zero(tmp_path, capsys):
+    program = figure1_program()
+    directory = save_program(program, tmp_path / "prog")
+    _, recorder = record_run(program)
+    trace = save_trace(recorder.trace, tmp_path / "trace.json")
+    sarif_path = tmp_path / "out.sarif"
+    json_path = tmp_path / "out.json"
+    code = main(
+        [
+            "lint",
+            str(directory),
+            "--trace",
+            str(trace),
+            "--sarif",
+            str(sarif_path),
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "(trace model)" in out
+    validate_sarif(json.loads(sarif_path.read_text()))
+    assert json.loads(json_path.read_text())["counts"].get("error", 0) == 0
+
+
+def test_cli_lint_broken_program_exits_nonzero(tmp_path, capsys):
+    directory = save_program(broken_program(), tmp_path / "bad")
+    code = main(["lint", str(directory)])
+    assert code == 1
+    assert "type-error" in capsys.readouterr().out
+
+
+def test_cli_lint_workload_mode(tmp_path, capsys):
+    sarif_path = tmp_path / "hanoi.sarif"
+    code = main(["lint", "--workload", "Hanoi", "--sarif", str(sarif_path)])
+    assert code == 0
+    validate_sarif(json.loads(sarif_path.read_text()))
+
+
+def test_cli_lint_requires_exactly_one_input(capsys):
+    assert main(["lint"]) == 2

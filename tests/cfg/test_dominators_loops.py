@@ -158,3 +158,145 @@ def test_straight_line_has_no_loops():
     assert analysis.loops == []
     assert analysis.back_edges == set()
     assert analysis.forward_loop_count[0] == 0
+
+
+SELF_LOOP = """
+    iconst 3
+    store 0
+loop:
+    load 0
+    ifle loop
+    return
+"""
+
+# Entry branches into the middle of a two-block cycle, so neither
+# cycle block dominates the other: no back edge exists and the cycle
+# survives into the "forward" graph (a classic irreducible region).
+IRREDUCIBLE = """
+    load 0
+    ifeq second
+first:
+    load 1
+    ifle exit
+    goto second
+second:
+    load 2
+    ifle exit
+    goto first
+exit:
+    return
+"""
+
+UNREACHABLE_CYCLE = """
+    goto end
+dead:
+    load 0
+    ifle dead
+    goto end
+end:
+    return
+"""
+
+
+def test_self_loop_is_a_natural_loop():
+    cfg = build_cfg(assemble(SELF_LOOP))
+    analysis = analyze_loops(cfg)
+    assert len(analysis.loops) == 1
+    loop = analysis.loops[0]
+    assert loop.header == 1
+    assert loop.body == frozenset({1})
+    assert loop.back_edges == ((1, 1),)
+    assert analysis.loop_depth[1] == 1
+    assert analysis.forward_loop_count[0] == 1
+    exit_edges = [
+        edge for edge in cfg.edges if analysis.is_loop_exit_edge(edge)
+    ]
+    assert [(e.source, e.target) for e in exit_edges] == [(1, 2)]
+
+
+def test_irreducible_region_forward_counts_are_exact():
+    cfg = build_cfg(assemble(IRREDUCIBLE))
+    analysis = analyze_loops(cfg)
+    # Dominance finds no back edge in an irreducible region...
+    assert analysis.back_edges == set()
+    assert analysis.loops == []
+    # ...yet the forward instruction counts must still account for the
+    # whole cycle from every member (the old DFS-postorder sweep
+    # silently dropped the part of the cycle visited "too early").
+    cycle = {1, 2, 3, 4}
+    cycle_size = sum(len(cfg.block(b)) for b in cycle)
+    exit_size = len(cfg.block(5))
+    for block_id in cycle:
+        assert (
+            analysis.forward_instruction_count[block_id]
+            == cycle_size + exit_size
+        )
+    assert analysis.forward_instruction_count[0] == len(
+        cfg.block(0)
+    ) + cycle_size + exit_size
+
+
+def test_irreducible_region_sees_downstream_loops():
+    # The irreducible cycle must propagate loop-header reachability
+    # through itself: append a natural self-loop after the exit.
+    cfg = build_cfg(
+        assemble(
+            """
+                load 0
+                ifeq second
+            first:
+                load 1
+                ifle exit
+                goto second
+            second:
+                load 2
+                ifle exit
+                goto first
+            exit:
+                iconst 2
+                store 3
+            spin:
+                load 3
+                ifle spin
+                return
+            """
+        )
+    )
+    analysis = analyze_loops(cfg)
+    headers = analysis.loop_headers
+    assert len(headers) == 1
+    # Every block of the irreducible cycle (and the entry) sees the
+    # downstream natural loop, regardless of DFS visitation order.
+    for block_id in (0, 1, 2, 3, 4):
+        assert analysis.forward_loop_count[block_id] == 1
+
+
+def test_unreachable_cycle_does_not_break_analysis():
+    cfg = build_cfg(assemble(UNREACHABLE_CYCLE))
+    analysis = analyze_loops(cfg)
+    # Unreachable blocks have no dominators, hence no back edges.
+    assert analysis.loops == []
+    # The sweep still terminates and covers every block.
+    assert set(analysis.forward_instruction_count) == {
+        block.block_id for block in cfg.blocks
+    }
+    assert analysis.loop_depth[1] == 0
+
+
+def test_unreachable_blocks_absent_from_dominators():
+    cfg = build_cfg(assemble(UNREACHABLE_CYCLE))
+    idom = immediate_dominators(cfg)
+    assert set(idom) == {0, 3}
+    assert idom[0] is None
+    assert idom[3] == 0
+    assert not dominates(idom, 0, 1)  # unreachable: nothing dominates it
+
+
+def test_entry_self_loop():
+    cfg = build_cfg(assemble("entry:\n    load 0\n    ifle entry\n    return"))
+    analysis = analyze_loops(cfg)
+    assert len(analysis.loops) == 1
+    assert analysis.loops[0].header == 0
+    assert analysis.loops[0].body == frozenset({0})
+    idom = immediate_dominators(cfg)
+    assert idom[0] is None

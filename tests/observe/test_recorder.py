@@ -24,6 +24,9 @@ def fully_populated_recorder():
     recorder.reconnect(34.0, attempt=1, backoff=0.05)
     recorder.unit_retry(35.0, class_name="B", method="run", reason="crc")
     recorder.degraded_to_strict(36.0, reason="4 reconnects exhausted")
+    recorder.analysis_finding(
+        37.0, rule="proven-stall", severity="info", target="B.run"
+    )
     return recorder
 
 
