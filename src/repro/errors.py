@@ -90,6 +90,16 @@ class StreamDecodeError(ProtocolError):
         self.byte_offset = byte_offset
 
 
+class ServerBusyError(ProtocolError):
+    """The server's admission control turned the connection away.
+
+    Raised when a session handshake receives an ``ERROR`` frame with
+    ``code: "busy"`` (the server is at ``max_connections``).  Unlike
+    other protocol errors this one is *transient*: the resilient
+    fetcher retries it with backoff instead of failing the fetch.
+    """
+
+
 class ConnectionLostError(TransferError):
     """The peer disappeared mid-stream (reset, abort, or silent close)."""
 

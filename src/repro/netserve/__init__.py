@@ -7,7 +7,17 @@ priority, so the model can be validated against wall-clock transfers.
 """
 
 from .bridge import NetworkRunResult, fetch_and_run, run_networked
+from .cache import ArtifactCache, SessionArtifact, program_fingerprint
 from .client import NonStrictFetcher
+from .loadgen import (
+    CellResult,
+    LoadCell,
+    SweepReport,
+    run_cell,
+    run_sweep,
+    sweep_cells,
+    write_bench_json,
+)
 from .resilient import ResilientFetcher
 from .payloads import (
     DELIMITER_FILLER,
@@ -49,7 +59,17 @@ __all__ = [
     "NetworkRunResult",
     "fetch_and_run",
     "run_networked",
+    "ArtifactCache",
+    "SessionArtifact",
+    "program_fingerprint",
     "NonStrictFetcher",
+    "CellResult",
+    "LoadCell",
+    "SweepReport",
+    "run_cell",
+    "run_sweep",
+    "sweep_cells",
+    "write_bench_json",
     "ResilientFetcher",
     "DELIMITER_FILLER",
     "build_class_payloads",

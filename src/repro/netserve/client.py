@@ -24,6 +24,7 @@ from ..errors import (
     ConnectionLostError,
     FrameCorruptionError,
     ProtocolError,
+    ServerBusyError,
     StreamDecodeError,
     TransferError,
 )
@@ -151,9 +152,13 @@ class NonStrictFetcher:
             ) from error
         if ack.kind == FrameKind.ERROR:
             writer.close()
+            fields = ack.field_dict
+            if fields.get("code") == "busy":
+                raise ServerBusyError(
+                    f"server busy: {fields.get('message')}"
+                )
             raise ProtocolError(
-                f"server rejected session: "
-                f"{ack.field_dict.get('message')}"
+                f"server rejected session: {fields.get('message')}"
             )
         self._reader, self._writer = reader, writer
         return ack
@@ -188,6 +193,10 @@ class NonStrictFetcher:
                 pass
         if self._writer is not None:
             self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # -- receive path -----------------------------------------------------
 

@@ -1,0 +1,423 @@
+"""Fleet-scale load generation: a run-table sweep over the server.
+
+Modelled on experiment-runner-style replication packages: a *run
+table* of cells — each a ``clients × bandwidth × fault-plan``
+configuration — is executed against an in-process
+:class:`~.server.ClassFileServer`, and every cell reports the measured
+first-invocation latency distribution (p50/p99/p999), the plan-cache
+hit rate, aggregate egress, and failure/rejection counts.  The whole
+sweep serializes to ``BENCH_serve.json`` so the serving performance
+trajectory is tracked across PRs, the same way the simulator's
+``BENCH_*`` files track modelled performance.
+
+The measured latency is the entry method's availability time (seconds
+from session start until the entry point could first execute) — the
+paper's *invocation latency*, observed on a real socket.  Latencies
+are recorded both as raw samples (exact percentiles) and into a
+``netserve_first_invoke_seconds`` histogram in a
+:class:`~repro.observe.MetricsRegistry`, labeled per cell.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..errors import ServerBusyError, TransferError
+from ..observe.metrics import MetricsRegistry
+from ..program import MethodId, Program
+from .cache import ArtifactCache
+from .client import NonStrictFetcher
+from .resilient import ResilientFetcher
+from .server import ClassFileServer
+
+__all__ = [
+    "LoadCell",
+    "CellResult",
+    "SweepReport",
+    "percentile",
+    "sweep_cells",
+    "run_cell",
+    "run_sweep",
+    "write_bench_json",
+]
+
+#: Latency histogram bounds in seconds (localhost to paced-modem).
+FIRST_INVOKE_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Imported lazily by type only to avoid a hard dependency cycle.
+FaultPlanLike = Any
+
+
+@dataclass(frozen=True)
+class LoadCell:
+    """One row of the run table.
+
+    Attributes:
+        clients: Number of concurrent fetch sessions.
+        bandwidth: Server-side shared-link pacing in bytes/second
+            (``None`` = unpaced).
+        policy: Transfer policy every client negotiates.
+        strategy: Reorder strategy every client negotiates.
+        fault_plan: Optional :class:`repro.faults.FaultPlan` applied to
+            the server for this cell; selects the resilient fetcher.
+    """
+
+    clients: int
+    bandwidth: Optional[float] = None
+    policy: str = "non_strict"
+    strategy: str = "static"
+    fault_plan: Optional[FaultPlanLike] = None
+
+    @property
+    def label(self) -> str:
+        parts = [
+            f"c{self.clients}",
+            "unpaced" if self.bandwidth is None else f"bw{self.bandwidth:g}",
+            self.policy,
+            self.strategy,
+        ]
+        if self.fault_plan is not None:
+            parts.append("faults")
+        return "-".join(parts)
+
+
+@dataclass
+class CellResult:
+    """Measured outcome of one run-table cell."""
+
+    label: str
+    clients: int
+    bandwidth: Optional[float]
+    policy: str
+    strategy: str
+    faulted: bool
+    completed: int
+    failed: int
+    busy_rejected: int
+    wall_seconds: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    mean_ms: float
+    max_ms: float
+    aggregate_bytes: int
+    achieved_bytes_per_second: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    demand_fetches: int
+    errors: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "clients": self.clients,
+            "bandwidth": self.bandwidth,
+            "policy": self.policy,
+            "strategy": self.strategy,
+            "faulted": self.faulted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "busy_rejected": self.busy_rejected,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "latency_ms": {
+                "p50": round(self.p50_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "p999": round(self.p999_ms, 3),
+                "mean": round(self.mean_ms, 3),
+                "max": round(self.max_ms, 3),
+            },
+            "aggregate_bytes": self.aggregate_bytes,
+            "achieved_bytes_per_second": round(
+                self.achieved_bytes_per_second, 1
+            ),
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 4),
+            },
+            "demand_fetches": self.demand_fetches,
+            "errors": self.errors[:10],
+        }
+
+
+@dataclass
+class SweepReport:
+    """Every cell of one sweep plus sweep-wide metadata."""
+
+    cells: List[CellResult]
+    wall_seconds: float
+    metrics: MetricsRegistry
+
+    @property
+    def overall_cache_hit_rate(self) -> float:
+        hits = sum(cell.cache_hits for cell in self.cells)
+        misses = sum(cell.cache_misses for cell in self.cells)
+        lookups = hits + misses
+        return hits / lookups if lookups else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.netserve.loadgen/1",
+            "wall_seconds": round(self.wall_seconds, 3),
+            "overall_cache_hit_rate": round(
+                self.overall_cache_hit_rate, 4
+            ),
+            "cells": [cell.to_json() for cell in self.cells],
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact ``q``-percentile (``0 <= q <= 100``), linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+def sweep_cells(
+    clients: Sequence[int],
+    bandwidths: Sequence[Optional[float]] = (None,),
+    policy: str = "non_strict",
+    strategy: str = "static",
+    fault_plans: Sequence[Optional[FaultPlanLike]] = (None,),
+) -> List[LoadCell]:
+    """The full cross product clients × bandwidth × fault plans."""
+    return [
+        LoadCell(
+            clients=count,
+            bandwidth=bandwidth,
+            policy=policy,
+            strategy=strategy,
+            fault_plan=plan,
+        )
+        for count in clients
+        for bandwidth in bandwidths
+        for plan in fault_plans
+    ]
+
+
+async def _one_session(
+    host: str,
+    port: int,
+    cell: LoadCell,
+    connect_timeout: float,
+) -> float:
+    """One client session; returns first-invocation latency (seconds)."""
+    fetcher: NonStrictFetcher
+    if cell.fault_plan is not None:
+        fetcher = ResilientFetcher(
+            host,
+            port,
+            policy=cell.policy,
+            strategy=cell.strategy,
+            connect_timeout=connect_timeout,
+        )
+    else:
+        fetcher = NonStrictFetcher(
+            host,
+            port,
+            policy=cell.policy,
+            strategy=cell.strategy,
+            connect_timeout=connect_timeout,
+        )
+    manifest = await fetcher.connect()
+    try:
+        entry = manifest.get("entry")
+        if not entry:
+            raise TransferError("served program has no entry point")
+        latency = await fetcher.wait_for_method(
+            MethodId(str(entry[0]), str(entry[1])), demand=False
+        )
+        await fetcher.wait_until_complete()
+    finally:
+        await fetcher.aclose()
+    return latency
+
+
+async def run_cell(
+    program: Program,
+    cell: LoadCell,
+    cache: Optional[ArtifactCache] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    max_connections: Optional[int] = None,
+    per_connection_bandwidth: Optional[float] = None,
+    connect_timeout: float = 30.0,
+) -> CellResult:
+    """Run one cell: start a server, drive its clients, measure.
+
+    Args:
+        program: The program to serve.
+        cell: The cell configuration.
+        cache: Optional shared :class:`~.cache.ArtifactCache`; passing
+            one across cells measures warm-cache serving (hit-rate
+            deltas are still attributed per cell).
+        metrics: Registry receiving the per-cell
+            ``netserve_first_invoke_seconds`` histogram.
+        max_connections: Optional server admission limit; rejected
+            clients count into ``busy_rejected``.
+        per_connection_bandwidth: Optional per-connection cap on top
+            of the shared link.
+        connect_timeout: Per-client handshake timeout in seconds.
+    """
+    registry = metrics if metrics is not None else MetricsRegistry()
+    shared_cache = cache if cache is not None else ArtifactCache()
+    hits_before = shared_cache.hits
+    misses_before = shared_cache.misses
+    server = ClassFileServer(
+        program,
+        bandwidth=cell.bandwidth,
+        per_connection_bandwidth=per_connection_bandwidth,
+        max_connections=max_connections,
+        cache=shared_cache,
+        fault_plan=cell.fault_plan,
+    )
+    host, port = await server.start()
+    started = time.monotonic()
+    try:
+        outcomes = await asyncio.gather(
+            *(
+                _one_session(host, port, cell, connect_timeout)
+                for _ in range(cell.clients)
+            ),
+            return_exceptions=True,
+        )
+    finally:
+        elapsed = time.monotonic() - started
+        await server.aclose()
+
+    latencies: List[float] = []
+    errors: List[str] = []
+    busy = 0
+    histogram = registry.histogram(
+        "netserve_first_invoke_seconds",
+        {"cell": cell.label},
+        buckets=FIRST_INVOKE_BUCKETS,
+    )
+    for outcome in outcomes:
+        if isinstance(outcome, ServerBusyError):
+            busy += 1
+        elif isinstance(outcome, BaseException):
+            errors.append(f"{type(outcome).__name__}: {outcome}")
+        else:
+            latencies.append(outcome)
+            histogram.observe(outcome)
+
+    to_ms = [value * 1e3 for value in latencies]
+    aggregate_bytes = server.stats.bytes_sent
+    return CellResult(
+        label=cell.label,
+        clients=cell.clients,
+        bandwidth=cell.bandwidth,
+        policy=cell.policy,
+        strategy=cell.strategy,
+        faulted=cell.fault_plan is not None,
+        completed=len(latencies),
+        failed=len(errors),
+        busy_rejected=busy,
+        wall_seconds=elapsed,
+        p50_ms=percentile(to_ms, 50.0),
+        p99_ms=percentile(to_ms, 99.0),
+        p999_ms=percentile(to_ms, 99.9),
+        mean_ms=(sum(to_ms) / len(to_ms)) if to_ms else 0.0,
+        max_ms=max(to_ms) if to_ms else 0.0,
+        aggregate_bytes=aggregate_bytes,
+        achieved_bytes_per_second=(
+            aggregate_bytes / elapsed if elapsed > 0 else 0.0
+        ),
+        cache_hits=shared_cache.hits - hits_before,
+        cache_misses=shared_cache.misses - misses_before,
+        cache_hit_rate=_rate(
+            shared_cache.hits - hits_before,
+            shared_cache.misses - misses_before,
+        ),
+        demand_fetches=server.stats.demand_fetches,
+        errors=errors,
+    )
+
+
+def _rate(hits: int, misses: int) -> float:
+    lookups = hits + misses
+    return hits / lookups if lookups else 0.0
+
+
+async def run_sweep(
+    program: Program,
+    cells: Sequence[LoadCell],
+    max_connections: Optional[int] = None,
+    per_connection_bandwidth: Optional[float] = None,
+    connect_timeout: float = 30.0,
+) -> SweepReport:
+    """Run every cell in order over one shared artifact cache."""
+    metrics = MetricsRegistry()
+    cache = ArtifactCache(metrics=metrics)
+    results: List[CellResult] = []
+    started = time.monotonic()
+    for cell in cells:
+        results.append(
+            await run_cell(
+                program,
+                cell,
+                cache=cache,
+                metrics=metrics,
+                max_connections=max_connections,
+                per_connection_bandwidth=per_connection_bandwidth,
+                connect_timeout=connect_timeout,
+            )
+        )
+    return SweepReport(
+        cells=results,
+        wall_seconds=time.monotonic() - started,
+        metrics=metrics,
+    )
+
+
+def write_bench_json(
+    report: SweepReport, path: Union[str, Path]
+) -> Path:
+    """Persist a sweep as ``BENCH_serve.json`` (stable, sorted keys)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    return target
+
+
+def format_report(report: SweepReport) -> str:
+    """Human-readable run table for the CLI."""
+    header = (
+        f"{'cell':34} {'ok':>4} {'fail':>4} {'busy':>4} "
+        f"{'p50ms':>8} {'p99ms':>8} {'p999ms':>8} "
+        f"{'B/s':>10} {'hit%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for cell in report.cells:
+        lines.append(
+            f"{cell.label:34} {cell.completed:>4} {cell.failed:>4} "
+            f"{cell.busy_rejected:>4} "
+            f"{cell.p50_ms:>8.2f} {cell.p99_ms:>8.2f} "
+            f"{cell.p999_ms:>8.2f} "
+            f"{cell.achieved_bytes_per_second:>10.0f} "
+            f"{cell.cache_hit_rate * 100:>5.1f}%"
+        )
+    lines.append(
+        f"sweep: {len(report.cells)} cells in "
+        f"{report.wall_seconds:.2f}s, overall cache hit rate "
+        f"{report.overall_cache_hit_rate * 100:.1f}%"
+    )
+    return "\n".join(lines)

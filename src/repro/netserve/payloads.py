@@ -8,6 +8,12 @@ Overhead bytes the transfer model adds on top of the canonical image —
 method delimiters, GMD framing — are materialized as a repeating filler
 pattern so every payload is exactly ``unit.size`` bytes and the bytes
 on the wire equal the bytes the simulator charges for.
+
+Since the fleet-scale refactor these payload maps are built once per
+``(program, policy, strategy)`` configuration and shared *immutably*
+across every connection through :class:`repro.netserve.cache
+.ArtifactCache` — callers must never mutate a returned mapping or its
+``bytes`` values.
 """
 
 from __future__ import annotations

@@ -247,8 +247,17 @@ def resume_ack_frame(**fields: Any) -> Frame:
     return _json_frame(FrameKind.RESUME_ACK, fields)
 
 
-def error_frame(message: str) -> Frame:
-    return _json_frame(FrameKind.ERROR, {"message": message})
+def error_frame(message: str, code: Optional[str] = None) -> Frame:
+    """A fatal typed error.
+
+    ``code`` is an optional machine-readable discriminator (e.g.
+    ``"busy"`` for admission-control rejections) so clients can react
+    without parsing the human-readable message.
+    """
+    fields: Dict[str, Any] = {"message": message}
+    if code is not None:
+        fields["code"] = code
+    return _json_frame(FrameKind.ERROR, fields)
 
 
 def eof_frame() -> Frame:

@@ -39,6 +39,7 @@ from ..errors import (
     FrameCorruptionError,
     ProtocolError,
     ResilienceExhaustedError,
+    ServerBusyError,
     StreamDecodeError,
     TransferError,
 )
@@ -130,8 +131,35 @@ class ResilientFetcher(NonStrictFetcher):
 
     # -- lifecycle --------------------------------------------------------
 
+    def _backoff_for(self, attempt: int) -> float:
+        """Capped exponential backoff with seeded jitter (attempt ≥ 1)."""
+        backoff = min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** (attempt - 1)),
+        )
+        return backoff + self._rng.uniform(
+            0.0, self.backoff_jitter * backoff
+        )
+
     async def connect(self) -> Dict:
-        manifest = await super().connect()
+        """Connect, retrying BUSY admission rejections with backoff.
+
+        A fleet-scale server at ``max_connections`` answers with a
+        clean BUSY error frame; that is a transient condition, so the
+        resilient client backs off and re-dials (up to
+        ``max_reconnects`` retries) instead of failing the fetch.
+        """
+        attempt = 0
+        while True:
+            try:
+                manifest = await super().connect()
+                break
+            except ServerBusyError:
+                if attempt >= self.max_reconnects:
+                    raise
+                attempt += 1
+                self.stats.record_busy_retry()
+                await asyncio.sleep(self._backoff_for(attempt))
         self._merge_manifest(manifest)
         if self.deadline is not None:
             self._deadline_at = time.monotonic() + self.deadline
@@ -335,13 +363,7 @@ class ResilientFetcher(NonStrictFetcher):
             self._reconnects_used += 1
             attempt = self._reconnects_used
             self._check_deadline()
-            backoff = min(
-                self.backoff_cap,
-                self.backoff_base * (2 ** (attempt - 1)),
-            )
-            backoff += self._rng.uniform(
-                0.0, self.backoff_jitter * backoff
-            )
+            backoff = self._backoff_for(attempt)
             await asyncio.sleep(backoff)
             self._check_deadline()
             self.stats.record_reconnect()

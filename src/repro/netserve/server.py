@@ -3,20 +3,36 @@
 :class:`ClassFileServer` holds one :class:`~repro.program.Program` and
 serves it to many concurrent clients.  Each connection negotiates a
 transfer policy (strict / non-strict / data-partitioned) and a reorder
-strategy via ``HELLO``; the server restructures the program, builds the
-per-class transfer plans, and streams the unit sequence over the
-socket.
+strategy via ``HELLO``; the server resolves the negotiated
+configuration to a shared immutable :class:`~.cache.SessionArtifact`
+(restructured program, transfer plan, payload bytes, and pre-encoded
+``UNIT`` frames) and streams the unit sequence over the socket.
 
 Two behaviours mirror the paper's transfer fabric (§5.1/§5.2):
 
 * **Bandwidth pacing** — an optional token bucket caps the send rate in
   bytes/second, so a T1- or modem-shaped link is reproducible on
   localhost and overlap effects are observable in wall-clock time.
+  The bucket is *server-level*: it models one shared physical link, so
+  aggregate egress respects ``bandwidth`` no matter how many clients
+  are connected (each connection may additionally be capped with
+  ``per_connection_bandwidth``).
 * **Demand-fetch priority** — a ``DEMAND_FETCH`` from the client (a
   first-use misprediction) promotes the demanded class's still-pending
   units, as a block and in order, to the *front* of the send queue —
   the same front-of-queue rule :meth:`repro.transfer.StreamEngine`
   applies to demand-fetched streams.
+
+Fleet-scale controls:
+
+* **Admission control** — with ``max_connections`` set, a connection
+  past the limit receives a clean ``ERROR`` frame with ``code:
+  "busy"`` and is closed, instead of silently degrading every other
+  session.
+* **Send backpressure** — each connection's transport write buffer is
+  bounded (``write_buffer_high``), so ``drain()`` genuinely pauses the
+  sender for a slow client instead of buffering the whole stream in
+  memory.
 """
 
 from __future__ import annotations
@@ -24,7 +40,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from ..errors import ConnectionLostError, ProtocolError, ReproError
 from ..faults import ConnectionFaults, FaultInjector, FaultPlan, FrameDirective
@@ -43,6 +59,7 @@ from ..transfer import (
     build_program_plans,
 )
 from ..vm import FirstUseProfile
+from .cache import ArtifactCache, SessionArtifact, program_fingerprint
 from .payloads import build_program_payloads
 from .protocol import (
     FrameKind,
@@ -72,6 +89,11 @@ class TokenBucket:
     The bucket may run a deficit: a frame larger than the burst is sent
     whole, and subsequent sends wait until the deficit refills — so the
     long-run rate converges to ``rate`` regardless of frame sizes.
+
+    :meth:`consume` is serialized through an :class:`asyncio.Lock`, so
+    one bucket shared by many connections is a fair FIFO model of one
+    physical link: concurrent senders queue in arrival order and the
+    aggregate rate never exceeds ``rate``.
     """
 
     def __init__(self, rate: float, burst: float = 256.0) -> None:
@@ -81,6 +103,7 @@ class TokenBucket:
         self.burst = max(float(burst), 1.0)
         self._tokens = self.burst
         self._last = time.monotonic()
+        self._lock = asyncio.Lock()
 
     def _refill(self) -> None:
         now = time.monotonic()
@@ -91,11 +114,12 @@ class TokenBucket:
 
     async def consume(self, amount: float) -> None:
         """Take ``amount`` tokens, sleeping until the rate allows it."""
-        self._refill()
-        self._tokens -= amount
-        if self._tokens < 0:
-            await asyncio.sleep(-self._tokens / self.rate)
+        async with self._lock:
             self._refill()
+            self._tokens -= amount
+            if self._tokens < 0:
+                await asyncio.sleep(-self._tokens / self.rate)
+                self._refill()
 
 
 class ClassFileServer:
@@ -103,13 +127,27 @@ class ClassFileServer:
 
     Args:
         program: The program to serve (original layout; restructured
-            per-connection according to the negotiated strategy).
+            per negotiated configuration, shared via the artifact
+            cache).
         host: Bind address.
         port: Bind port (0 = ephemeral; read :attr:`address` after
             :meth:`start`).
-        bandwidth: Optional pacing cap in *bytes per second* (frame
-            overhead counts against it, like real link framing).
+        bandwidth: Optional pacing cap in *bytes per second* for the
+            server's whole egress link (frame overhead counts against
+            it, like real link framing).  Shared by every connection.
         burst: Token-bucket burst size in bytes.
+        per_connection_bandwidth: Optional additional per-connection
+            cap in bytes/second (each connection gets its own bucket
+            on top of the shared link bucket).
+        max_connections: Optional admission limit; a connection past
+            it receives an ``ERROR`` frame with ``code: "busy"`` and
+            is closed.
+        write_buffer_high: High-water mark in bytes for each
+            connection's transport write buffer (send backpressure).
+        cache: Optional shared :class:`~.cache.ArtifactCache`; one
+            private cache is created when omitted.  Passing the same
+            cache to several servers shares planned artifacts across
+            them.
         profile: Optional training profile backing the ``profile``
             reorder strategy; without one the server falls back to
             ``static`` and says so in the ``HELLO_ACK``.
@@ -122,9 +160,10 @@ class ClassFileServer:
             event and counted in ``netserve_faults_injected``.
         recorder: Optional :class:`repro.observe.TraceRecorder` (clock
             ``"seconds"``); when given, every wire frame becomes a
-            ``frame_sent`` event and every demand-fetch promotion a
-            ``schedule_decision``, timestamped relative to server
-            start.
+            ``frame_sent`` event, every demand-fetch promotion a
+            ``schedule_decision``, every plan lookup a ``cache_lookup``
+            and every admission rejection a ``connection_rejected``,
+            timestamped relative to server start.
     """
 
     def __init__(
@@ -134,6 +173,10 @@ class ClassFileServer:
         port: int = 0,
         bandwidth: Optional[float] = None,
         burst: float = 256.0,
+        per_connection_bandwidth: Optional[float] = None,
+        max_connections: Optional[int] = None,
+        write_buffer_high: int = 64 * 1024,
+        cache: Optional[ArtifactCache] = None,
         profile: Optional[FirstUseProfile] = None,
         once: bool = False,
         fault_plan: Optional[FaultPlan] = None,
@@ -144,6 +187,13 @@ class ClassFileServer:
         self.port = port
         self.bandwidth = bandwidth
         self.burst = burst
+        self.per_connection_bandwidth = per_connection_bandwidth
+        if max_connections is not None and max_connections < 1:
+            raise ProtocolError(
+                f"max_connections must be >= 1: {max_connections}"
+            )
+        self.max_connections = max_connections
+        self.write_buffer_high = write_buffer_high
         self.profile = profile
         self.once = once
         self.fault_plan = fault_plan
@@ -154,6 +204,11 @@ class ClassFileServer:
         )
         self.recorder = recorder
         self.stats = ServerStats()
+        self.artifact_cache = (
+            cache if cache is not None else ArtifactCache()
+        )
+        self._fingerprint: Optional[str] = None
+        self._bucket: Optional[TokenBucket] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: List[asyncio.StreamWriter] = []
         self._finished = asyncio.Event()
@@ -163,6 +218,9 @@ class ClassFileServer:
 
     async def start(self) -> Tuple[str, int]:
         """Bind and start accepting; returns the bound address."""
+        if self.bandwidth is not None and self._bucket is None:
+            # One bucket for the whole server: the shared link.
+            self._bucket = TokenBucket(self.bandwidth, burst=self.burst)
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -191,87 +249,180 @@ class ClassFileServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting and drop every live connection."""
+        """Stop accepting and drop every live connection.
+
+        Waits for each transport to actually close (no leaked
+        transports, no ``ResourceWarning`` under load).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for writer in list(self._writers):
+        writers = list(self._writers)
+        for writer in writers:
             writer.close()
+        for writer in writers:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
         self._finished.set()
 
     # -- per-connection negotiation ---------------------------------------
 
-    def _order_for(self, strategy: str) -> Tuple[FirstUseOrder, str]:
-        """Resolve a requested strategy to an order (with fallback)."""
-        if strategy == "textual":
-            return textual_first_use(self.program), "textual"
-        if strategy == "profile":
-            if self.profile is not None:
-                return (
-                    order_from_profile(self.program, self.profile),
-                    "profile",
-                )
-            strategy = "static"  # honest fallback, reported in the ack
-        if strategy != "static":
+    def _resolve_strategy(self, strategy: str) -> str:
+        """Validate a requested strategy and apply the profile fallback.
+
+        Cheap (no planning work), so it can gate the cache lookup.
+        """
+        if strategy == "profile" and self.profile is None:
+            return "static"  # honest fallback, reported in the ack
+        if strategy not in REORDER_STRATEGIES:
             raise ProtocolError(
                 f"unknown reorder strategy {strategy!r}; pick from "
                 f"{REORDER_STRATEGIES}"
             )
-        return estimate_first_use(self.program), "static"
+        return strategy
 
-    def _plan_session(
+    def _order_for(self, strategy: str) -> FirstUseOrder:
+        """First-use order for an already-resolved strategy."""
+        if strategy == "textual":
+            return textual_first_use(self.program)
+        if strategy == "profile":
+            assert self.profile is not None  # resolved upstream
+            return order_from_profile(self.program, self.profile)
+        return estimate_first_use(self.program)
+
+    def _build_artifact(
         self, policy: TransferPolicy, strategy: str
-    ) -> Tuple[List[TransferUnit], Dict[TransferUnit, bytes], str]:
-        order, actual_strategy = self._order_for(strategy)
+    ) -> SessionArtifact:
+        """Do the full planning work for one configuration (cache miss)."""
+        order = self._order_for(strategy)
+        target = restructure(self.program, order)
+        plans = build_program_plans(target, policy)
         if policy == TransferPolicy.STRICT:
             # Whole files, in class-first-use order: the strict
             # methodology still benefits from sending the entry class
             # first, and the comparison stays apples-to-apples.
-            target = restructure(self.program, order)
-            plans = build_program_plans(target, policy)
             sequence = [
                 unit
                 for classfile in target.classes
                 for unit in plans[classfile.name].units
             ]
         else:
-            target = restructure(self.program, order)
-            plans = build_program_plans(target, policy)
             sequence = build_interleaved_file(plans, order)
         payloads = build_program_payloads(target, plans)
-        return sequence, payloads, actual_strategy
-
-    @staticmethod
-    def _manifest(sequence: List[TransferUnit]) -> List[List]:
-        return [
-            [
+        frames = {
+            unit: encode_frame(unit_frame(unit, payloads[unit]))
+            for unit in sequence
+        }
+        manifest = tuple(
+            (
                 unit.kind.value,
                 unit.class_name,
                 unit.method.method_name if unit.method else None,
                 unit.size,
-            ]
+            )
             for unit in sequence
-        ]
+        )
+        return SessionArtifact(
+            sequence=tuple(sequence),
+            payloads=payloads,
+            frames=frames,
+            manifest=manifest,
+            strategy=strategy,
+            total_bytes=sum(unit.size for unit in sequence),
+            wire_bytes=sum(len(data) for data in frames.values()),
+        )
+
+    def _plan_session(
+        self, policy: TransferPolicy, strategy: str
+    ) -> SessionArtifact:
+        """Resolve a negotiated configuration to a shared artifact."""
+        resolved = self._resolve_strategy(strategy)
+        if self._fingerprint is None:
+            self._fingerprint = program_fingerprint(self.program)
+        key = (self._fingerprint, policy.value, resolved)
+        before = self.artifact_cache.misses
+        artifact = self.artifact_cache.get_or_build(
+            key, lambda: self._build_artifact(policy, resolved)
+        )
+        if self.recorder is not None:
+            self.recorder.cache_lookup(
+                self._now(),
+                hit=self.artifact_cache.misses == before,
+                policy=policy.value,
+                strategy=resolved,
+            )
+        return artifact
 
     # -- connection handling ----------------------------------------------
+
+    def _reject_busy(self) -> bool:
+        """True when admission control must turn a connection away."""
+        return (
+            self.max_connections is not None
+            and len(self._writers) >= self.max_connections
+        )
+
+    async def _turn_away(self, writer: asyncio.StreamWriter) -> None:
+        """Send the clean BUSY error frame and close the transport."""
+        peer = str(writer.get_extra_info("peername"))
+        self.stats.record_rejected()
+        if self.recorder is not None:
+            self.recorder.connection_rejected(
+                self._now(),
+                reason="busy",
+                peer=peer,
+                limit=self.max_connections,
+            )
+        try:
+            writer.write(
+                encode_frame(
+                    error_frame(
+                        f"server at capacity "
+                        f"({self.max_connections} connections)",
+                        code="busy",
+                    )
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._reject_busy():
+            await self._turn_away(writer)
+            return
         conn = self.stats.open_connection(
             peer=str(writer.get_extra_info("peername")),
             started_at=time.monotonic(),
         )
         self._writers.append(writer)
+        self.stats.set_active(len(self._writers))
+        transport = writer.transport
+        if transport is not None:
+            # Bound the kernel-side buffering so drain() exerts real
+            # backpressure against slow clients.
+            transport.set_write_buffer_limits(
+                high=self.write_buffer_high
+            )
         faults = (
             self._injector.connection()
             if self._injector is not None
             else None
         )
         demand_task: Optional[asyncio.Task] = None
+        demand_error: Optional[BaseException] = None
         try:
             try:
-                sequence, payloads, full_sequence = await self._negotiate(
+                sequence, artifact = await self._negotiate(
                     reader, writer, conn
                 )
             except ConnectionLostError:
@@ -284,9 +435,11 @@ class ClassFileServer:
                 return
             pending: Deque[TransferUnit] = deque(sequence)
             demand_task = asyncio.create_task(
-                self._demand_loop(reader, pending, full_sequence, conn)
+                self._demand_loop(
+                    reader, pending, artifact.sequence, conn
+                )
             )
-            await self._send_units(writer, pending, payloads, conn, faults)
+            await self._send_units(writer, pending, artifact, conn, faults)
         except (ConnectionLostError, ConnectionError, OSError):
             conn.aborted = True
         except asyncio.CancelledError:
@@ -296,29 +449,43 @@ class ClassFileServer:
         finally:
             if demand_task is not None:
                 demand_task.cancel()
+                try:
+                    await demand_task
+                except asyncio.CancelledError:
+                    pass
+                except Exception as error:  # noqa: BLE001 - surfaced below
+                    # A real demand-loop failure (not teardown): count
+                    # it and re-raise after cleanup so it is never
+                    # silently swallowed.
+                    demand_error = error
+                    self.stats.record_demand_loop_error()
             conn.finished_at = time.monotonic()
             writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
             if writer in self._writers:
                 self._writers.remove(writer)
+            self.stats.set_active(len(self._writers))
             if self.once:
                 self._finished.set()
+            if demand_error is not None:
+                raise demand_error
 
     async def _negotiate(
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         conn: ConnectionStats,
-    ) -> Tuple[
-        List[TransferUnit],
-        Dict[TransferUnit, bytes],
-        List[TransferUnit],
-    ]:
-        """Negotiate a session; returns (to-send, payloads, full plan).
+    ) -> Tuple[List[TransferUnit], SessionArtifact]:
+        """Negotiate a session; returns (units to send, artifact).
 
         Accepts a fresh ``HELLO`` or a ``RESUME`` carrying the unit
         wire keys the client already holds; a resume replays the same
-        session plan minus the held units, so a reconnecting client
-        pays only for what it lost.
+        cached session plan minus the held units, so a reconnecting
+        client pays only for what it lost — and the server pays one
+        cache lookup, not a re-plan.
         """
         hello = await read_frame(reader)
         if hello.kind not in (FrameKind.HELLO, FrameKind.RESUME):
@@ -333,9 +500,8 @@ class ClassFileServer:
                 f"unknown policy {fields.get('policy')!r}"
             ) from exc
         strategy = fields.get("strategy", "static")
-        full_sequence, payloads, actual_strategy = self._plan_session(
-            policy, strategy
-        )
+        artifact = self._plan_session(policy, strategy)
+        full_sequence = list(artifact.sequence)
         sequence = full_sequence
         resumed = hello.kind == FrameKind.RESUME
         if resumed:
@@ -347,18 +513,24 @@ class ClassFileServer:
             ]
             conn.record_resume(len(full_sequence) - len(sequence))
         conn.policy = policy.value
-        conn.strategy = actual_strategy
+        conn.strategy = artifact.strategy
         entry = self.program.entry_point
+        if resumed:
+            manifest = artifact.manifest_rows(sequence)
+            total_bytes = sum(unit.size for unit in sequence)
+        else:
+            manifest = [list(row) for row in artifact.manifest]
+            total_bytes = artifact.total_bytes
         ack_fields = dict(
             policy=policy.value,
-            strategy=actual_strategy,
+            strategy=artifact.strategy,
             unit_count=len(sequence),
-            total_bytes=sum(unit.size for unit in sequence),
+            total_bytes=total_bytes,
             bandwidth=self.bandwidth,
             entry=(
                 [entry.class_name, entry.method_name] if entry else None
             ),
-            sequence=self._manifest(sequence),
+            sequence=manifest,
         )
         if resumed:
             ack = resume_ack_frame(
@@ -369,7 +541,7 @@ class ClassFileServer:
             ack = hello_ack_frame(**ack_fields)
         writer.write(encode_frame(ack))
         await writer.drain()
-        return sequence, payloads, full_sequence
+        return sequence, artifact
 
     @staticmethod
     def _have_keys(raw: object) -> set:
@@ -399,20 +571,22 @@ class ClassFileServer:
         self,
         writer: asyncio.StreamWriter,
         pending: Deque[TransferUnit],
-        payloads: Dict[TransferUnit, bytes],
+        artifact: SessionArtifact,
         conn: ConnectionStats,
         faults: Optional[ConnectionFaults] = None,
     ) -> None:
-        bucket = (
-            TokenBucket(self.bandwidth, burst=self.burst)
-            if self.bandwidth is not None
+        conn_bucket = (
+            TokenBucket(self.per_connection_bandwidth, burst=self.burst)
+            if self.per_connection_bandwidth is not None
             else None
         )
         while pending:
             unit = pending.popleft()
-            data = encode_frame(unit_frame(unit, payloads[unit]))
-            if bucket is not None:
-                await bucket.consume(len(data))
+            data = artifact.frames[unit]
+            if conn_bucket is not None:
+                await conn_bucket.consume(len(data))
+            if self._bucket is not None:
+                await self._bucket.consume(len(data))
             alive = await self._transmit(
                 writer, data, conn, faults, kind="UNIT", unit=unit
             )
@@ -502,7 +676,7 @@ class ClassFileServer:
         self,
         reader: asyncio.StreamReader,
         pending: Deque[TransferUnit],
-        full_sequence: List[TransferUnit],
+        full_sequence: Tuple[TransferUnit, ...],
         conn: ConnectionStats,
     ) -> None:
         """Serve DEMAND_FETCH frames by promoting pending units.

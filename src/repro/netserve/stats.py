@@ -136,6 +136,36 @@ class ServerStats:
         self.metrics.counter("netserve_connections_total").inc()
         return conn
 
+    def record_rejected(self) -> None:
+        """Account one connection turned away by admission control."""
+        self.metrics.counter("netserve_rejected_connections").inc()
+
+    def record_demand_loop_error(self) -> None:
+        """Account one unexpected demand-loop failure at teardown."""
+        self.metrics.counter("netserve_demand_loop_errors").inc()
+
+    def set_active(self, count: int) -> None:
+        """Publish the current live-connection count as a gauge."""
+        self.metrics.gauge("netserve_active_connections").set(count)
+
+    @property
+    def rejected_connections(self) -> int:
+        return int(
+            self.metrics.counter("netserve_rejected_connections").value
+        )
+
+    @property
+    def demand_loop_errors(self) -> int:
+        return int(
+            self.metrics.counter("netserve_demand_loop_errors").value
+        )
+
+    @property
+    def active_connections(self) -> int:
+        return int(
+            self.metrics.gauge("netserve_active_connections").value
+        )
+
     @property
     def bytes_sent(self) -> int:
         return int(self.metrics.counter_total("netserve_bytes_sent"))
@@ -202,6 +232,10 @@ class FetchStats:
     def record_duplicate_unit(self) -> None:
         self._counter("netserve_duplicate_units_total").inc()
 
+    def record_busy_retry(self) -> None:
+        """Account one BUSY rejection retried with backoff."""
+        self._counter("netserve_busy_retries_total").inc()
+
     def record_stall(self, method: MethodId, seconds: float) -> None:
         self.stall_seconds[method] = (
             self.stall_seconds.get(method, 0.0) + seconds
@@ -248,6 +282,10 @@ class FetchStats:
         return int(
             self._counter("netserve_duplicate_units_total").value
         )
+
+    @property
+    def busy_retries(self) -> int:
+        return int(self._counter("netserve_busy_retries_total").value)
 
     @property
     def stall_histogram(self) -> Histogram:

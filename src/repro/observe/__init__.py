@@ -22,6 +22,8 @@ from typing import Dict
 _EXPORTS: Dict[str, str] = {
     # events
     "ANALYSIS_FINDING": "events",
+    "CACHE_LOOKUP": "events",
+    "CONNECTION_REJECTED": "events",
     "DEGRADED_TO_STRICT": "events",
     "DEMAND_FETCH": "events",
     "EVENT_CATEGORIES": "events",

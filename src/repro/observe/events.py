@@ -23,7 +23,11 @@ Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
 * ``unit_retry`` — one damaged unit was re-requested on its own;
 * ``degraded_to_strict`` — resilience gave up on overlap and fell back
   to a one-shot strict whole-file transfer;
-* ``analysis_finding`` — the static analyzer reported a lint finding.
+* ``analysis_finding`` — the static analyzer reported a lint finding;
+* ``cache_lookup`` — the server resolved a negotiated configuration
+  against its shared artifact cache (hit or miss);
+* ``connection_rejected`` — admission control turned a connection
+  away (e.g. the server was at ``max_connections``).
 """
 
 from __future__ import annotations
@@ -47,6 +51,8 @@ __all__ = [
     "UNIT_RETRY",
     "DEGRADED_TO_STRICT",
     "ANALYSIS_FINDING",
+    "CACHE_LOOKUP",
+    "CONNECTION_REJECTED",
     "validate_event",
 ]
 
@@ -62,6 +68,8 @@ RECONNECT = "reconnect"
 UNIT_RETRY = "unit_retry"
 DEGRADED_TO_STRICT = "degraded_to_strict"
 ANALYSIS_FINDING = "analysis_finding"
+CACHE_LOOKUP = "cache_lookup"
+CONNECTION_REJECTED = "connection_rejected"
 
 #: Required ``args`` keys per event name.  Emitters may add extra keys
 #: (they survive every exporter round-trip), but these must be present.
@@ -78,6 +86,8 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     UNIT_RETRY: ("class_name",),
     DEGRADED_TO_STRICT: ("reason",),
     ANALYSIS_FINDING: ("rule", "severity", "target"),
+    CACHE_LOOKUP: ("hit",),
+    CONNECTION_REJECTED: ("reason",),
 }
 
 #: Display lane per event name (Chrome trace "thread", ASCII timeline
@@ -95,6 +105,8 @@ EVENT_CATEGORIES: Dict[str, str] = {
     UNIT_RETRY: "schedule",
     DEGRADED_TO_STRICT: "schedule",
     ANALYSIS_FINDING: "analyze",
+    CACHE_LOOKUP: "schedule",
+    CONNECTION_REJECTED: "schedule",
 }
 
 

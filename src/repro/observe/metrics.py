@@ -86,6 +86,35 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from buckets.
+
+        Linear interpolation inside the owning bucket, the standard
+        Prometheus ``histogram_quantile`` estimate; the observed
+        ``min``/``max`` clamp the first and overflow buckets so the
+        estimate never leaves the observed range.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {q}")
+        if not self.count:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[index]
+            if cumulative + in_bucket >= rank:
+                lower = self.min if index == 0 else self.bounds[index - 1]
+                lower = min(lower, bound)
+                fraction = (
+                    (rank - cumulative) / in_bucket if in_bucket else 1.0
+                )
+                return min(
+                    self.max, lower + (bound - lower) * fraction
+                )
+            cumulative += in_bucket
+        return self.max
+
 
 def _labels_key(labels: Optional[Mapping[str, str]]) -> Labels:
     if not labels:

@@ -19,6 +19,8 @@ from typing import Any, List, Optional
 
 from .events import (
     ANALYSIS_FINDING,
+    CACHE_LOOKUP,
+    CONNECTION_REJECTED,
     DEGRADED_TO_STRICT,
     DEMAND_FETCH,
     FAULT_INJECTED,
@@ -199,3 +201,15 @@ class TraceRecorder:
             target=target,
             **extra,
         )
+
+    def cache_lookup(self, ts: float, hit: bool, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(CACHE_LOOKUP, ts, hit=hit, **extra)
+
+    def connection_rejected(
+        self, ts: float, reason: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(CONNECTION_REJECTED, ts, reason=reason, **extra)

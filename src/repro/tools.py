@@ -21,7 +21,12 @@ Subcommands (all operate on a program directory written by
 * ``serve DIR --port N --bandwidth B`` — serve the program's transfer
   units over real TCP (see :mod:`repro.netserve`);
 * ``fetch HOST PORT [TRACE]`` — fetch a served program non-strictly
-  and, with a trace, replay it against the real arrivals.
+  and, with a trace, replay it against the real arrivals;
+* ``loadtest DIR`` (or ``loadtest --workload NAME``) — run a
+  fleet-scale sweep of clients × bandwidth × fault plans against an
+  in-process server and report p50/p99/p999 first-invocation latency
+  plus plan-cache hit rates; ``--out BENCH_serve.json`` persists the
+  run table (see :mod:`repro.netserve.loadgen`).
 """
 
 from __future__ import annotations
@@ -450,6 +455,108 @@ def _cmd_fetch(arguments) -> int:
     return 0
 
 
+def _parse_float_list(raw: str, option: str) -> List[Optional[float]]:
+    """Parse a comma list of floats; ``none`` means unpaced."""
+    values: List[Optional[float]] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.lower() in ("none", "unpaced"):
+            values.append(None)
+            continue
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise ReproError(
+                f"{option} expects comma-separated numbers "
+                f"(or 'none'): {token!r}"
+            ) from None
+    if not values:
+        raise ReproError(f"{option} is empty")
+    return values
+
+
+def _cmd_loadtest(arguments) -> int:
+    import asyncio
+    import json
+
+    from .faults import FaultPlan
+    from .netserve.loadgen import (
+        format_report,
+        run_sweep,
+        sweep_cells,
+        write_bench_json,
+    )
+
+    if (arguments.directory is None) == (arguments.workload is None):
+        print(
+            "error: give either a program directory or --workload NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.workload is not None:
+        from .workloads.spec import benchmark_spec
+        from .workloads.synthetic import paper_workload
+
+        program = paper_workload(
+            benchmark_spec(arguments.workload)
+        ).program
+    else:
+        program = load_program(arguments.directory)
+
+    try:
+        clients = [
+            int(token)
+            for token in arguments.clients.split(",")
+            if token.strip()
+        ]
+    except ValueError:
+        print(
+            f"error: --clients expects comma-separated integers: "
+            f"{arguments.clients!r}",
+            file=sys.stderr,
+        )
+        return 2
+    bandwidths = _parse_float_list(arguments.bandwidth, "--bandwidth")
+    fault_plans: List[Optional[FaultPlan]] = [None]
+    if arguments.faults:
+        try:
+            fault_plans.append(
+                FaultPlan.from_dict(json.loads(arguments.faults))
+            )
+        except json.JSONDecodeError as error:
+            print(
+                f"error: --faults is not JSON: {error}", file=sys.stderr
+            )
+            return 2
+
+    cells = sweep_cells(
+        clients,
+        bandwidths,
+        policy=arguments.policy,
+        strategy=arguments.strategy,
+        fault_plans=fault_plans,
+    )
+    report = asyncio.run(
+        run_sweep(
+            program,
+            cells,
+            max_connections=arguments.max_connections,
+            per_connection_bandwidth=(
+                arguments.per_connection_bandwidth
+            ),
+            connect_timeout=arguments.connect_timeout,
+        )
+    )
+    print(format_report(report))
+    if arguments.out:
+        target = write_bench_json(report, arguments.out)
+        print(f"bench:  {target}")
+    failed = sum(cell.failed for cell in report.cells)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-inspect",
@@ -700,6 +807,77 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resilient fetcher)",
     )
     fetch.set_defaults(handler=_cmd_fetch)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="fleet-scale latency sweep against an in-process server",
+    )
+    loadtest.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="stored program directory (or use --workload)",
+    )
+    loadtest.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="sweep a bundled synthetic workload (BIT, Hanoi, JavaCup, "
+        "Jess, JHLZip, TestDes)",
+    )
+    loadtest.add_argument(
+        "--clients",
+        default="1,8,32",
+        help="comma-separated concurrent client counts (one cell each)",
+    )
+    loadtest.add_argument(
+        "--bandwidth",
+        default="none",
+        help="comma-separated shared-link rates in bytes/second "
+        "('none' = unpaced)",
+    )
+    loadtest.add_argument(
+        "--policy",
+        choices=("strict", "non_strict", "data_partitioned"),
+        default="non_strict",
+    )
+    loadtest.add_argument(
+        "--strategy",
+        choices=("static", "textual", "profile"),
+        default="static",
+    )
+    loadtest.add_argument(
+        "--faults",
+        default=None,
+        metavar="JSON",
+        help="fault-injection plan as JSON; adds a faulted cell per "
+        "clients × bandwidth combination",
+    )
+    loadtest.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="server admission limit (rejections counted per cell)",
+    )
+    loadtest.add_argument(
+        "--per-connection-bandwidth",
+        type=float,
+        default=None,
+        help="additional per-connection cap in bytes/second",
+    )
+    loadtest.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=30.0,
+        help="per-client handshake timeout in seconds",
+    )
+    loadtest.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the sweep run table here (BENCH_serve.json)",
+    )
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     arguments = parser.parse_args(argv)
     try:

@@ -108,3 +108,42 @@ def test_fetch_without_trace_prints_stats(stored, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "policy:            strict" in out
     assert "bytes on wire:" in out
+
+
+def test_loadtest_runs_sweep_and_writes_bench(stored, tmp_path, capsys):
+    import json
+
+    directory, _ = stored
+    out = tmp_path / "BENCH_serve.json"
+    code = main(
+        [
+            "loadtest",
+            directory,
+            "--clients",
+            "1,8",
+            "--bandwidth",
+            "none,20000",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert len(data["cells"]) == 4
+    assert data["overall_cache_hit_rate"] > 0.5
+    printed = capsys.readouterr().out
+    assert "c8-bw20000-non_strict-static" in printed
+    assert "overall cache hit rate" in printed
+
+
+def test_loadtest_requires_exactly_one_source(capsys):
+    assert main(["loadtest"]) == 2
+    assert "program directory or --workload" in capsys.readouterr().err
+
+
+def test_loadtest_rejects_malformed_lists(stored, capsys):
+    directory, _ = stored
+    assert main(["loadtest", directory, "--clients", "two"]) == 2
+    assert (
+        main(["loadtest", directory, "--bandwidth", "fast"]) == 2
+    )

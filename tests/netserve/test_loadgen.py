@@ -1,0 +1,165 @@
+"""The load-generation harness and its BENCH_serve.json run table."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import figure1_program
+from repro.faults import FaultPlan
+from repro.netserve import (
+    ArtifactCache,
+    LoadCell,
+    run_cell,
+    run_sweep,
+    sweep_cells,
+    write_bench_json,
+)
+from repro.netserve.loadgen import format_report, percentile
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# -- percentiles -------------------------------------------------------
+
+
+def test_percentile_exact_values():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 100.0) == 40.0
+    assert percentile(values, 50.0) == pytest.approx(25.0)
+    assert percentile([7.0], 99.0) == 7.0
+    assert percentile([], 50.0) == 0.0
+
+
+def test_percentile_rejects_bad_q():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+
+
+# -- run table construction --------------------------------------------
+
+
+def test_sweep_cells_is_full_cross_product():
+    plan = FaultPlan(seed=1, drop_frames=(2,))
+    cells = sweep_cells(
+        [1, 4], bandwidths=[None, 8000.0], fault_plans=[None, plan]
+    )
+    assert len(cells) == 8
+    labels = [cell.label for cell in cells]
+    assert len(set(labels)) == 8
+    assert "c1-unpaced-non_strict-static" in labels
+    assert "c4-bw8000-non_strict-static-faults" in labels
+
+
+# -- measured cells ----------------------------------------------------
+
+
+def test_run_cell_measures_latency_and_cache():
+    cell = LoadCell(clients=4)
+    result = run(run_cell(figure1_program(), cell))
+    assert result.completed == 4
+    assert result.failed == 0
+    assert result.busy_rejected == 0
+    assert result.p50_ms > 0
+    assert result.p50_ms <= result.p99_ms <= result.p999_ms
+    assert result.max_ms >= result.p999_ms
+    assert result.cache_misses == 1
+    assert result.cache_hits == 3
+    assert result.aggregate_bytes > 0
+    assert result.achieved_bytes_per_second > 0
+
+
+def test_run_cell_with_admission_limit_counts_rejections():
+    cell = LoadCell(clients=6, bandwidth=8000.0)
+    result = run(
+        run_cell(figure1_program(), cell, max_connections=2)
+    )
+    assert result.busy_rejected > 0
+    assert result.completed + result.busy_rejected == 6
+    assert result.failed == 0
+
+
+def test_run_cell_with_faults_uses_resilient_fetcher():
+    cell = LoadCell(
+        clients=2,
+        fault_plan=FaultPlan(seed=7, drop_frames=(2,)),
+    )
+    result = run(run_cell(figure1_program(), cell))
+    assert result.faulted
+    assert result.completed == 2
+    assert result.failed == 0
+
+
+def test_warm_cache_carries_across_cells():
+    cache = ArtifactCache()
+
+    async def scenario():
+        program = figure1_program()
+        first = await run_cell(
+            program, LoadCell(clients=1), cache=cache
+        )
+        second = await run_cell(
+            program, LoadCell(clients=8), cache=cache
+        )
+        return first, second
+
+    first, second = run(scenario())
+    assert first.cache_misses == 1
+    assert second.cache_misses == 0
+    assert second.cache_hits == 8
+    assert second.cache_hit_rate == 1.0
+
+
+# -- the acceptance criterion ------------------------------------------
+
+
+def test_hundred_client_sweep_hits_cache_after_warmup(tmp_path):
+    """A 100-client sweep completes with >= 95% plan-cache hit rate
+    after warmup and emits BENCH_serve.json with p50/p99/p999."""
+    cells = [LoadCell(clients=1), LoadCell(clients=100)]
+    report = run(run_sweep(figure1_program(), cells))
+    warmup, fleet = report.cells
+    assert warmup.completed == 1
+    assert fleet.completed == 100
+    assert fleet.failed == 0
+    assert fleet.cache_hit_rate >= 0.95
+    assert report.overall_cache_hit_rate >= 0.95
+
+    target = write_bench_json(report, tmp_path / "BENCH_serve.json")
+    data = json.loads(target.read_text())
+    assert data["schema"] == "repro.netserve.loadgen/1"
+    assert data["overall_cache_hit_rate"] >= 0.95
+    assert len(data["cells"]) == 2
+    fleet_row = data["cells"][1]
+    assert fleet_row["clients"] == 100
+    for quantile in ("p50", "p99", "p999"):
+        assert fleet_row["latency_ms"][quantile] > 0
+    assert (
+        fleet_row["latency_ms"]["p50"]
+        <= fleet_row["latency_ms"]["p99"]
+        <= fleet_row["latency_ms"]["p999"]
+    )
+
+
+def test_sweep_populates_latency_histogram():
+    report = run(run_sweep(figure1_program(), [LoadCell(clients=3)]))
+    snapshot = report.metrics.snapshot()
+    series = [
+        row
+        for row in snapshot["histograms"]
+        if row["name"] == "netserve_first_invoke_seconds"
+    ]
+    assert len(series) == 1
+    assert series[0]["count"] == 3
+
+
+def test_format_report_renders_every_cell():
+    report = run(run_sweep(figure1_program(), [LoadCell(clients=2)]))
+    text = format_report(report)
+    assert "c2-unpaced-non_strict-static" in text
+    assert "overall cache hit rate" in text

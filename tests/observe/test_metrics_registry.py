@@ -70,3 +70,26 @@ def test_snapshot_is_plain_sorted_data():
     (hist,) = snap["histograms"]
     assert hist["count"] == 1
     assert hist["buckets"] == {"0.1": 0, "1.0": 1, "+Inf": 0}
+
+
+def test_histogram_quantile_interpolates_within_buckets():
+    histogram = Histogram(buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 1.5, 3.0):
+        histogram.observe(value)
+    # p50 lands in the (1.0, 2.0] bucket.
+    assert 1.0 <= histogram.quantile(0.5) <= 2.0
+    # The top quantile is clamped to the observed max.
+    assert histogram.quantile(1.0) == 3.0
+    # The bottom of the estimate never drops below the observed min.
+    assert histogram.quantile(0.01) >= 0.5
+
+
+def test_histogram_quantile_edge_cases():
+    histogram = Histogram(buckets=(1.0,))
+    assert histogram.quantile(0.5) == 0.0  # empty
+    histogram.observe(5.0)  # overflow bucket only
+    assert histogram.quantile(0.5) == 5.0
+    with pytest.raises(ValueError):
+        histogram.quantile(0.0)
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)

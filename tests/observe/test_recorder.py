@@ -27,6 +27,8 @@ def fully_populated_recorder():
     recorder.analysis_finding(
         37.0, rule="proven-stall", severity="info", target="B.run"
     )
+    recorder.cache_lookup(38.0, hit=True, policy="non_strict")
+    recorder.connection_rejected(39.0, reason="busy", limit=64)
     return recorder
 
 
