@@ -56,6 +56,7 @@ can still *prove* methods stall-free but never claims a misprediction
 from __future__ import annotations
 
 import enum
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -88,7 +89,7 @@ __all__ = [
     "analyze_transfer_plan",
 ]
 
-_METHODOLOGIES = ("parallel", "interleaved")
+_METHODOLOGIES = ("parallel", "interleaved", "striped")
 _TRIGGER_SLOP = 1e-9  # mirrors ParallelController._release_due
 
 
@@ -164,7 +165,8 @@ class TransferPlanReport:
     """Everything the transfer-plan analyzer proved.
 
     Attributes:
-        methodology: ``"parallel"`` or ``"interleaved"``.
+        methodology: ``"parallel"``, ``"interleaved"``, or
+            ``"striped"``.
         model: ``"trace"`` (interval replay of an execution trace) or
             ``"static"`` (work-model lower bounds; no mispredict
             claims).
@@ -296,6 +298,88 @@ def _interleaved_arrivals(
     return arrivals
 
 
+def _striped_arrivals(
+    plans: Dict[str, ClassTransferPlan],
+    order: FirstUseOrder,
+    cpi: float,
+    links: Tuple[NetworkLink, ...],
+) -> Dict[MethodId, _ArrivalBounds]:
+    """Arrival bounds under escalation-free multi-link striping.
+
+    The scoreboard engine issues units in priority order (deadline,
+    then sequence), one per idle link, and a method unit *retires*
+    only after its class's global unit.  Bounds:
+
+    * ``lo``: both the unit and its global unit must traverse some
+      link — at best the fastest one concurrently
+      (``max(size) · cpb_fast``) — and their combined bytes cannot
+      beat the aggregate capacity of the whole link set.  Sharper:
+      ``u`` issues only once every higher-priority unit has issued,
+      at which point at most ``N − 1`` of their bytes are still in
+      flight, so at least ``W_before − top(N−1)`` bytes were already
+      delivered at no better than the aggregate rate; ``u`` itself
+      then needs ``size · cpb_fast``.  On one link this is the exact
+      interleaved arrival.
+    * ``hi``: list-scheduling makespan on uniform links.  Let ``W``
+      be the bytes of ``u``'s priority prefix and ``l`` its
+      last-landing unit.  Until ``l`` issues, no lower-priority grain
+      can issue and no link idles, so prefix bytes move at the full
+      aggregate rate; ``l`` then finishes on its own link, at worst
+      the slowest: ``T ≤ (W − p_l)/rate_total + p_l · cpb_slow``,
+      maximised (the expression grows with ``p_l``) by the largest
+      unit in the prefix.  On one link this collapses to
+      ``W · cpb`` — the interleaved exact arrival.
+
+    The ``hi`` bound assumes no demand escalation reorders priorities
+    mid-run (escalation only *accelerates* the stalled method, but it
+    can delay others), so verdicts model ``escalate=False`` runs; the
+    demand bound is ``inf`` accordingly.
+    """
+    from ..sched.striped import StripedEntry, striped_sequence
+
+    entries = striped_sequence(plans, order, cpi)
+    cpb_fast = min(l.cycles_per_byte for l in links)
+    cpb_slow = max(l.cycles_per_byte for l in links)
+    aggregate_bpc = sum(1.0 / l.cycles_per_byte for l in links)
+    lead_size: Dict[str, int] = {}
+    for entry in entries:
+        if entry.unit.kind in (
+            UnitKind.GLOBAL_DATA,
+            UnitKind.GLOBAL_FIRST,
+        ):
+            lead_size[entry.unit.class_name] = entry.unit.size
+    arrivals: Dict[MethodId, _ArrivalBounds] = {}
+    prefix = 0.0
+    largest = 0.0
+    # Streaming top-(N−1) unit sizes of the priority prefix: the most
+    # bytes that can still be in flight when the next unit issues.
+    in_flight_cap = len(links) - 1
+    top_sizes: List[float] = []
+    for entry in sorted(entries, key=StripedEntry.priority_key):
+        unit = entry.unit
+        size = float(unit.size)
+        if unit.kind == UnitKind.METHOD and unit.method is not None:
+            size_g = float(lead_size.get(unit.class_name, 0))
+            issue_lo = (
+                max(0.0, prefix - sum(top_sizes)) / aggregate_bpc
+            )
+            lo = max(
+                max(size, size_g) * cpb_fast,
+                (size + size_g) / aggregate_bpc,
+                issue_lo + size * cpb_fast,
+            )
+            hi = (prefix + size - max(largest, size)) / aggregate_bpc
+            hi += max(largest, size) * cpb_slow
+            arrivals[unit.method] = _ArrivalBounds(lo, hi, math.inf)
+        prefix += size
+        largest = max(largest, size)
+        if in_flight_cap > 0:
+            heapq.heappush(top_sizes, size)
+            if len(top_sizes) > in_flight_cap:
+                heapq.heappop(top_sizes)
+    return arrivals
+
+
 def _parallel_arrivals(
     plans: Dict[str, ClassTransferPlan],
     startable: Set[str],
@@ -388,6 +472,7 @@ def analyze_transfer_plan(
     data_partitioning: bool = False,
     restructure: bool = True,
     schedule: Optional[TransferSchedule] = None,
+    links: Optional[Tuple[NetworkLink, ...]] = None,
 ) -> TransferPlanReport:
     """Statically classify every method's first-use stall behavior.
 
@@ -400,7 +485,8 @@ def analyze_transfer_plan(
         order: First-use order guiding restructuring and scheduling.
         link: Network link model.
         cpi: Average cycles per bytecode instruction.
-        methodology: ``"parallel"`` or ``"interleaved"``.
+        methodology: ``"parallel"``, ``"interleaved"``, or
+            ``"striped"`` (multi-link scoreboard striping).
         trace: The execution trace the simulator will replay.  With a
             trace the analyzer runs the precise interval replay; without
             one it falls back to work-model lower bounds and never
@@ -412,6 +498,9 @@ def analyze_transfer_plan(
         restructure: Match the simulation's ``restructure`` flag.
         schedule: Override the greedy schedule (parallel only; used to
             analyze tampered or hand-written schedules).
+        links: The link set for ``methodology="striped"`` (defaults
+            to ``(link,)``); verdicts then bound the scoreboard
+            engine's escalation-free multi-link arrival model.
 
     Raises:
         AnalysisError: On an unknown methodology, or a trace method
@@ -463,6 +552,11 @@ def analyze_transfer_plan(
                 arrivals[entry_method] = _ArrivalBounds(
                     exact, exact, bounds.demand_bound
                 )
+    elif methodology == "striped":
+        link_set = tuple(links) if links else (link,)
+        arrivals = _striped_arrivals(plans, order, cpi, link_set)
+        cpb = max(l.cycles_per_byte for l in link_set)
+        margin = 0.5 * cpb
     else:
         arrivals = _interleaved_arrivals(plans, order, cpb)
 

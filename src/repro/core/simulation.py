@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, List, Optional, Set
 
 from ..errors import SimulationError
 from ..program import MethodId, Program
-from ..transfer import StreamEngine, TransferController, NetworkLink
+from ..transfer import TransferController, NetworkLink
 from ..vm import ExecutionTrace
 from .metrics import InvocationLatencyReport
 
@@ -135,11 +135,7 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Run the co-simulation to completion."""
-        engine = StreamEngine(
-            self.link, max_streams=getattr(
-                self.controller, "max_streams", None
-            )
-        )
+        engine = self.controller.build_engine(self.link)
         controller = self.controller
         recorder = self.recorder
         if recorder is not None and controller.recorder is None:

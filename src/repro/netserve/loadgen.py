@@ -16,6 +16,13 @@ paper's *invocation latency*, observed on a real socket.  Latencies
 are recorded both as raw samples (exact percentiles) and into a
 ``netserve_first_invoke_seconds`` histogram in a
 :class:`~repro.observe.MetricsRegistry`, labeled per cell.
+
+A cell may also stripe its clients across several *links* (one paced
+server endpoint per bandwidth, clients assigned round-robin, mirroring
+:mod:`repro.sched`'s multi-link transfer in the real-socket harness).
+Every cell result carries a per-link and a per-worker latency
+breakdown into ``BENCH_serve.json``, so a slow link or a straggler
+worker is attributable instead of being averaged away.
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ServerBusyError, TransferError
 from ..observe.metrics import MetricsRegistry
@@ -67,6 +74,11 @@ class LoadCell:
         strategy: Reorder strategy every client negotiates.
         fault_plan: Optional :class:`repro.faults.FaultPlan` applied to
             the server for this cell; selects the resilient fetcher.
+        links: Optional per-link bandwidths (bytes/second, ``None`` =
+            unpaced).  When set, one server endpoint is started per
+            link and workers are striped round-robin across them
+            (worker ``i`` fetches over link ``i % len(links)``);
+            ``bandwidth`` is ignored.
     """
 
     clients: int
@@ -74,12 +86,30 @@ class LoadCell:
     policy: str = "non_strict"
     strategy: str = "static"
     fault_plan: Optional[FaultPlanLike] = None
+    links: Optional[Tuple[Optional[float], ...]] = None
+
+    @property
+    def link_bandwidths(self) -> Tuple[Optional[float], ...]:
+        """The cell's link set (single ``bandwidth`` when unstriped)."""
+        if self.links:
+            return tuple(self.links)
+        return (self.bandwidth,)
 
     @property
     def label(self) -> str:
+        if self.links:
+            paced = "+".join(
+                "unpaced" if bw is None else f"{bw:g}"
+                for bw in self.links
+            )
+            pacing = f"links{len(self.links)}[{paced}]"
+        elif self.bandwidth is None:
+            pacing = "unpaced"
+        else:
+            pacing = f"bw{self.bandwidth:g}"
         parts = [
             f"c{self.clients}",
-            "unpaced" if self.bandwidth is None else f"bw{self.bandwidth:g}",
+            pacing,
             self.policy,
             self.strategy,
         ]
@@ -114,6 +144,8 @@ class CellResult:
     cache_hit_rate: float
     demand_fetches: int
     errors: List[str] = field(default_factory=list)
+    per_link: List[Dict[str, Any]] = field(default_factory=list)
+    per_worker: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -145,6 +177,8 @@ class CellResult:
             },
             "demand_fetches": self.demand_fetches,
             "errors": self.errors[:10],
+            "per_link": self.per_link,
+            "per_worker": self.per_worker,
         }
 
 
@@ -196,8 +230,16 @@ def sweep_cells(
     policy: str = "non_strict",
     strategy: str = "static",
     fault_plans: Sequence[Optional[FaultPlanLike]] = (None,),
+    link_sets: Sequence[
+        Optional[Tuple[Optional[float], ...]]
+    ] = (None,),
 ) -> List[LoadCell]:
-    """The full cross product clients × bandwidth × fault plans."""
+    """The full cross product clients × bandwidth × fault plans.
+
+    ``link_sets`` adds multi-link rows: each non-``None`` entry is a
+    tuple of per-link bandwidths striped round-robin across workers
+    (``bandwidths`` is ignored for those rows).
+    """
     return [
         LoadCell(
             clients=count,
@@ -205,10 +247,12 @@ def sweep_cells(
             policy=policy,
             strategy=strategy,
             fault_plan=plan,
+            links=links,
         )
         for count in clients
         for bandwidth in bandwidths
         for plan in fault_plans
+        for links in link_sets
     ]
 
 
@@ -279,27 +323,41 @@ async def run_cell(
     shared_cache = cache if cache is not None else ArtifactCache()
     hits_before = shared_cache.hits
     misses_before = shared_cache.misses
-    server = ClassFileServer(
-        program,
-        bandwidth=cell.bandwidth,
-        per_connection_bandwidth=per_connection_bandwidth,
-        max_connections=max_connections,
-        cache=shared_cache,
-        fault_plan=cell.fault_plan,
-    )
-    host, port = await server.start()
+    bandwidths = cell.link_bandwidths
+    servers = [
+        ClassFileServer(
+            program,
+            bandwidth=link_bandwidth,
+            per_connection_bandwidth=per_connection_bandwidth,
+            max_connections=max_connections,
+            cache=shared_cache,
+            fault_plan=cell.fault_plan,
+        )
+        for link_bandwidth in bandwidths
+    ]
+    endpoints = [await server.start() for server in servers]
+    # Worker i fetches over link i % N — round-robin striping.
+    assignment = [
+        worker % len(servers) for worker in range(cell.clients)
+    ]
     started = time.monotonic()
     try:
         outcomes = await asyncio.gather(
             *(
-                _one_session(host, port, cell, connect_timeout)
-                for _ in range(cell.clients)
+                _one_session(
+                    endpoints[link][0],
+                    endpoints[link][1],
+                    cell,
+                    connect_timeout,
+                )
+                for link in assignment
             ),
             return_exceptions=True,
         )
     finally:
         elapsed = time.monotonic() - started
-        await server.aclose()
+        for server in servers:
+            await server.aclose()
 
     latencies: List[float] = []
     errors: List[str] = []
@@ -309,17 +367,60 @@ async def run_cell(
         {"cell": cell.label},
         buckets=FIRST_INVOKE_BUCKETS,
     )
-    for outcome in outcomes:
+    per_worker: List[Dict[str, Any]] = []
+    link_samples: List[List[float]] = [[] for _ in servers]
+    link_counts = [
+        {"completed": 0, "failed": 0, "busy_rejected": 0}
+        for _ in servers
+    ]
+    for worker, (link, outcome) in enumerate(
+        zip(assignment, outcomes)
+    ):
+        row: Dict[str, Any] = {"worker": worker, "link": link}
         if isinstance(outcome, ServerBusyError):
             busy += 1
+            link_counts[link]["busy_rejected"] += 1
+            row["status"] = "busy"
         elif isinstance(outcome, BaseException):
             errors.append(f"{type(outcome).__name__}: {outcome}")
+            link_counts[link]["failed"] += 1
+            row["status"] = "error"
         else:
             latencies.append(outcome)
             histogram.observe(outcome)
+            link_samples[link].append(outcome * 1e3)
+            link_counts[link]["completed"] += 1
+            row["status"] = "ok"
+            row["latency_ms"] = round(outcome * 1e3, 3)
+        per_worker.append(row)
+
+    per_link: List[Dict[str, Any]] = []
+    for link, server in enumerate(servers):
+        samples = link_samples[link]
+        per_link.append(
+            {
+                "link": link,
+                "bandwidth": bandwidths[link],
+                "workers": assignment.count(link),
+                **link_counts[link],
+                "latency_ms": {
+                    "p50": round(percentile(samples, 50.0), 3),
+                    "p99": round(percentile(samples, 99.0), 3),
+                    "mean": round(
+                        sum(samples) / len(samples) if samples else 0.0,
+                        3,
+                    ),
+                    "max": round(max(samples) if samples else 0.0, 3),
+                },
+                "bytes_sent": server.stats.bytes_sent,
+                "demand_fetches": server.stats.demand_fetches,
+            }
+        )
 
     to_ms = [value * 1e3 for value in latencies]
-    aggregate_bytes = server.stats.bytes_sent
+    aggregate_bytes = sum(
+        server.stats.bytes_sent for server in servers
+    )
     return CellResult(
         label=cell.label,
         clients=cell.clients,
@@ -346,8 +447,12 @@ async def run_cell(
             shared_cache.hits - hits_before,
             shared_cache.misses - misses_before,
         ),
-        demand_fetches=server.stats.demand_fetches,
+        demand_fetches=sum(
+            server.stats.demand_fetches for server in servers
+        ),
         errors=errors,
+        per_link=per_link,
+        per_worker=per_worker,
     )
 
 

@@ -32,6 +32,9 @@ _EXPORTS: Dict[str, str] = {
     "FRAME_SENT": "events",
     "RECONNECT": "events",
     "UNIT_RETRY": "events",
+    "UNIT_ISSUED": "events",
+    "LINK_BUSY": "events",
+    "STRIPE_REBALANCE": "events",
     "METHOD_FIRST_INVOKE": "events",
     "SCHEDULE_DECISION": "events",
     "STALL_BEGIN": "events",

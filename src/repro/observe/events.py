@@ -24,6 +24,12 @@ Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
 * ``degraded_to_strict`` — resilience gave up on overlap and fell back
   to a one-shot strict whole-file transfer;
 * ``analysis_finding`` — the static analyzer reported a lint finding;
+* ``unit_issued`` — the scoreboard issue engine dispatched a transfer
+  unit (or stream grain) to a network link;
+* ``link_busy`` — one link's occupancy span for one issued grain
+  (phase ``"X"`` spans from issue to landing);
+* ``stripe_rebalance`` — the multi-link issue engine redistributed
+  work (demand escalation or a link outage);
 * ``cache_lookup`` — the server resolved a negotiated configuration
   against its shared artifact cache (hit or miss);
 * ``connection_rejected`` — admission control turned a connection
@@ -53,6 +59,9 @@ __all__ = [
     "ANALYSIS_FINDING",
     "CACHE_LOOKUP",
     "CONNECTION_REJECTED",
+    "UNIT_ISSUED",
+    "LINK_BUSY",
+    "STRIPE_REBALANCE",
     "validate_event",
 ]
 
@@ -70,6 +79,9 @@ DEGRADED_TO_STRICT = "degraded_to_strict"
 ANALYSIS_FINDING = "analysis_finding"
 CACHE_LOOKUP = "cache_lookup"
 CONNECTION_REJECTED = "connection_rejected"
+UNIT_ISSUED = "unit_issued"
+LINK_BUSY = "link_busy"
+STRIPE_REBALANCE = "stripe_rebalance"
 
 #: Required ``args`` keys per event name.  Emitters may add extra keys
 #: (they survive every exporter round-trip), but these must be present.
@@ -88,6 +100,9 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     ANALYSIS_FINDING: ("rule", "severity", "target"),
     CACHE_LOOKUP: ("hit",),
     CONNECTION_REJECTED: ("reason",),
+    UNIT_ISSUED: ("class_name", "link"),
+    LINK_BUSY: ("link",),
+    STRIPE_REBALANCE: ("reason",),
 }
 
 #: Display lane per event name (Chrome trace "thread", ASCII timeline
@@ -107,6 +122,9 @@ EVENT_CATEGORIES: Dict[str, str] = {
     ANALYSIS_FINDING: "analyze",
     CACHE_LOOKUP: "schedule",
     CONNECTION_REJECTED: "schedule",
+    UNIT_ISSUED: "schedule",
+    LINK_BUSY: "transfer",
+    STRIPE_REBALANCE: "schedule",
 }
 
 

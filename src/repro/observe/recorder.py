@@ -25,12 +25,15 @@ from .events import (
     DEMAND_FETCH,
     FAULT_INJECTED,
     FRAME_SENT,
+    LINK_BUSY,
     METHOD_FIRST_INVOKE,
     RECONNECT,
     SCHEDULE_DECISION,
     STALL_BEGIN,
     STALL_END,
+    STRIPE_REBALANCE,
     UNIT_ARRIVED,
+    UNIT_ISSUED,
     UNIT_RETRY,
     TraceEvent,
     validate_event,
@@ -213,3 +216,29 @@ class TraceRecorder:
         if not self.enabled:
             return
         self.emit(CONNECTION_REJECTED, ts, reason=reason, **extra)
+
+    def unit_issued(
+        self, ts: float, class_name: str, link: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            UNIT_ISSUED, ts, class_name=class_name, link=link, **extra
+        )
+
+    def link_busy(
+        self, ts: float, link: str, duration: float, **extra: Any
+    ) -> None:
+        """One link-occupancy span (phase ``"X"``), issue → landing."""
+        if not self.enabled:
+            return
+        self.emit(
+            LINK_BUSY, ts, phase="X", dur=duration, link=link, **extra
+        )
+
+    def stripe_rebalance(
+        self, ts: float, reason: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(STRIPE_REBALANCE, ts, reason=reason, **extra)

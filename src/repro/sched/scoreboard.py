@@ -1,0 +1,311 @@
+"""Scoreboard: issue state and hazard tracking for transfer units.
+
+The scoreboard borrows the classic out-of-order processor structure
+(CDC 6600): transfer units play the role of instructions, network
+links play the role of functional units, and hazard edges play the
+role of data dependences.  Each :class:`IssueItem` is one *issue
+grain* — either a single transfer unit (multi-link striping) or a
+whole in-order stream (the 1-link fidelity modes) — and moves through
+``WAITING → READY → ISSUED → LANDED``:
+
+* ``WAITING``: a hazard still blocks issue — the item's byte
+  watermark (the greedy schedule's ``start_after_bytes`` trigger,
+  paper §5.1) has not been reached;
+* ``READY``: every issue hazard is clear; the arbiter may dispatch
+  the item to a link;
+* ``ISSUED``: on the wire on one link;
+* ``LANDED``: every byte of the item has arrived.
+
+Landing is not the end of the story: a unit *retires* only once every
+unit it depends on has retired too (a method unit needs its class's
+global-data unit, exactly as an out-of-order core retires in
+dependence order even though execution completes out of order).  The
+retire time — ``max(landing, dependency retires)`` — is what the
+co-simulator observes as the unit's arrival, so out-of-order landings
+never let execution start before the paper's semantics allow.
+
+Demand-fetch correction (§5.1 misprediction handling) appears here as
+*hazard-priority escalation*: an escalated item sorts before every
+deadline at the next arbitration round.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import TransferError
+from ..transfer import TransferUnit
+
+__all__ = ["ItemState", "IssueItem", "Scoreboard"]
+
+#: Slop applied to byte-watermark comparisons, matching the parallel
+#: controller's trigger tolerance exactly (required for 1-link
+#: equivalence).
+WATERMARK_SLOP = 1e-9
+
+
+class ItemState(enum.Enum):
+    """Where an issue grain is in its lifecycle."""
+
+    WAITING = "waiting"
+    READY = "ready"
+    ISSUED = "issued"
+    LANDED = "landed"
+
+
+@dataclass
+class IssueItem:
+    """One issue grain: a unit (or in-order unit stream) plus hazards.
+
+    Attributes:
+        label: Unique scoreboard key; doubles as the stream name on
+            the link engine.
+        units: The grain's units, delivered strictly in this order.
+        seq: Program-order sequence number (ties and sequence-ordered
+            policies use it).
+        deadline: Cycles by which the grain should land (deadline
+            arbitration); ``math.inf`` when unconstrained.
+        watermark_bytes: Delivered-byte trigger: the item stays
+            ``WAITING`` until the watermark classes have delivered
+            this many bytes (0 = immediately ready).
+        watermark_classes: Stream labels whose delivered bytes count
+            toward the watermark.
+        state: Current lifecycle state.
+        escalated: Demand-fetch escalation flag; sorts before every
+            deadline.
+        channel: Index of the link the item issued on, once issued.
+        issue_time: Cycle at which the item issued, once issued.
+    """
+
+    label: str
+    units: Tuple[TransferUnit, ...]
+    seq: int
+    deadline: float = math.inf
+    watermark_bytes: float = 0.0
+    watermark_classes: Tuple[str, ...] = ()
+    state: ItemState = ItemState.WAITING
+    escalated: bool = False
+    channel: Optional[int] = None
+    issue_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.units:
+            raise TransferError(f"issue item {self.label!r} has no units")
+
+    @property
+    def size(self) -> int:
+        """Total wire bytes of the grain."""
+        return sum(unit.size for unit in self.units)
+
+    @property
+    def class_name(self) -> str:
+        """Owning class when unambiguous, else the label."""
+        names = {unit.class_name for unit in self.units}
+        if len(names) == 1:
+            return next(iter(names))
+        return self.label
+
+    def priority_key(self) -> Tuple[int, float, int]:
+        """Sort key for arbitration: escalated, then deadline, then
+        program order."""
+        return (0 if self.escalated else 1, self.deadline, self.seq)
+
+
+@dataclass
+class Scoreboard:
+    """Tracks every issue grain's state and every unit's hazards.
+
+    The scoreboard is pure bookkeeping: it never touches a link.  The
+    :class:`~repro.sched.engine.IssueEngine` asks it which items are
+    ready, tells it what was issued and what landed, and reads back
+    retire times.
+    """
+
+    items: Dict[str, IssueItem] = field(default_factory=dict)
+    land_times: Dict[TransferUnit, float] = field(default_factory=dict)
+    retire_times: Dict[TransferUnit, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._label_of_unit: Dict[TransferUnit, str] = {}
+        self._unit_deps: Dict[TransferUnit, Tuple[TransferUnit, ...]] = {}
+        self._dependents: Dict[TransferUnit, List[TransferUnit]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_item(self, item: IssueItem) -> None:
+        """Register one issue grain.
+
+        Raises:
+            TransferError: On a duplicate label or a unit already
+                owned by another item.
+        """
+        if item.label in self.items:
+            raise TransferError(
+                f"duplicate scoreboard item label {item.label!r}"
+            )
+        for unit in item.units:
+            if unit in self._label_of_unit:
+                raise TransferError(
+                    f"unit {unit} already owned by item "
+                    f"{self._label_of_unit[unit]!r}"
+                )
+            self._label_of_unit[unit] = item.label
+        self.items[item.label] = item
+
+    def add_unit_dep(
+        self, unit: TransferUnit, *deps: TransferUnit
+    ) -> None:
+        """Add retire hazards: ``unit`` retires only after ``deps``."""
+        existing = self._unit_deps.get(unit, ())
+        self._unit_deps[unit] = existing + deps
+        for dep in deps:
+            self._dependents.setdefault(dep, []).append(unit)
+
+    # -- queries -----------------------------------------------------------
+
+    def label_of(self, unit: TransferUnit) -> str:
+        """The owning item's label."""
+        try:
+            return self._label_of_unit[unit]
+        except KeyError as exc:
+            raise TransferError(
+                f"unit not on the scoreboard: {unit}"
+            ) from exc
+
+    def item_for_unit(self, unit: TransferUnit) -> IssueItem:
+        return self.items[self.label_of(unit)]
+
+    def unissued_bytes(self) -> float:
+        """Bytes of grains not yet dispatched to any link."""
+        return float(
+            sum(
+                item.size
+                for item in self.items.values()
+                if item.state in (ItemState.WAITING, ItemState.READY)
+            )
+        )
+
+    @property
+    def outstanding(self) -> bool:
+        """True while any grain has not fully landed."""
+        return any(
+            item.state is not ItemState.LANDED
+            for item in self.items.values()
+        )
+
+    # -- state transitions -------------------------------------------------
+
+    def ready_items(
+        self, delivered: Callable[[IssueItem], float]
+    ) -> List[IssueItem]:
+        """Promote watermark-satisfied items and list the ready set.
+
+        Args:
+            delivered: Callback returning the bytes delivered so far
+                for an item's watermark classes (summed across links).
+
+        Returns:
+            Every ``READY`` item, best-priority first.
+        """
+        ready: List[IssueItem] = []
+        for item in self.items.values():
+            if item.state is ItemState.WAITING:
+                if item.watermark_bytes <= (
+                    delivered(item) + WATERMARK_SLOP
+                ):
+                    item.state = ItemState.READY
+            if item.state is ItemState.READY:
+                ready.append(item)
+        ready.sort(key=IssueItem.priority_key)
+        return ready
+
+    def escalate(self, label: str) -> bool:
+        """Escalate an unlanded item's priority (demand correction).
+
+        Returns:
+            True if the item was newly escalated (it was waiting,
+            ready, or in flight and not yet flagged).
+        """
+        item = self.items[label]
+        if item.state is ItemState.LANDED or item.escalated:
+            return False
+        item.escalated = True
+        if item.state is ItemState.WAITING:
+            # A demand fetch overrides the byte watermark outright.
+            item.state = ItemState.READY
+        return True
+
+    def mark_issued(
+        self, label: str, channel: int, time: float
+    ) -> None:
+        item = self.items[label]
+        if item.state not in (ItemState.WAITING, ItemState.READY):
+            raise TransferError(
+                f"cannot issue item {label!r} in state {item.state}"
+            )
+        item.state = ItemState.ISSUED
+        item.channel = channel
+        item.issue_time = time
+
+    def requeue(
+        self, label: str, remaining: Tuple[TransferUnit, ...]
+    ) -> None:
+        """Return an in-flight item to ``READY`` (link outage).
+
+        Partially delivered bytes on the dead link are lost; the
+        surviving units retransmit whole on another link.
+        """
+        item = self.items[label]
+        if item.state is not ItemState.ISSUED:
+            raise TransferError(
+                f"cannot requeue item {label!r} in state {item.state}"
+            )
+        if not remaining:
+            raise TransferError(
+                f"requeue of {label!r} with no remaining units"
+            )
+        item.units = remaining
+        item.state = ItemState.READY
+        item.channel = None
+        item.issue_time = None
+
+    def mark_landed(
+        self, unit: TransferUnit, time: float
+    ) -> List[Tuple[TransferUnit, float]]:
+        """Record a unit's landing; cascade retires.
+
+        Returns:
+            Every unit retired by this landing, ``(unit, retire
+            time)``, in cascade order.  The landed unit itself retires
+            immediately unless a hazard dependency is still in flight.
+        """
+        if unit in self.land_times:
+            raise TransferError(f"unit landed twice: {unit}")
+        self.land_times[unit] = time
+        retired: List[Tuple[TransferUnit, float]] = []
+        worklist: List[TransferUnit] = [unit]
+        while worklist:
+            candidate = worklist.pop(0)
+            if (
+                candidate in self.retire_times
+                or candidate not in self.land_times
+            ):
+                continue
+            deps = self._unit_deps.get(candidate, ())
+            if any(dep not in self.retire_times for dep in deps):
+                continue
+            retire_at = self.land_times[candidate]
+            for dep in deps:
+                retire_at = max(retire_at, self.retire_times[dep])
+            self.retire_times[candidate] = retire_at
+            retired.append((candidate, retire_at))
+            worklist.extend(self._dependents.get(candidate, ()))
+        label = self._label_of_unit.get(unit)
+        if label is not None:
+            item = self.items[label]
+            if all(u in self.land_times for u in item.units):
+                item.state = ItemState.LANDED
+        return retired

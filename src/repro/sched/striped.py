@@ -1,0 +1,472 @@
+"""Multi-link striped transfer: the scoreboard engine's controller.
+
+:class:`StripedController` plugs into the co-simulator exactly like
+the paper's parallel and interleaved controllers, but builds a
+multi-link :class:`~repro.sched.engine.IssueEngine` instead of a
+single :class:`~repro.transfer.streams.StreamEngine`.  Five
+arbitration policies are supported:
+
+* ``"parallel"`` — the §5.1 methodology verbatim: per-class stream
+  grains gated by the greedy schedule's byte watermarks, demand-fetch
+  correction at the queue front.  On one link this is byte-for-byte
+  equivalent to :class:`~repro.transfer.ParallelController` (the
+  identical request sequence reaches an identical engine); on several
+  links streams spread across them least-loaded-first.
+* ``"interleaved"`` — the §5.2 methodology: on one link the entire
+  virtual interleaved file issues as a single stream grain
+  (byte-for-byte equivalent to
+  :class:`~repro.transfer.InterleavedController`); on several links
+  it degrades gracefully to sequence-ordered unit striping.
+* ``"deadline"`` — out-of-order unit striping, earliest deadline
+  first: each unit's deadline is its method's predicted first-use
+  time (``instructions_before × CPI``, the first-use order's
+  annotation built for exactly this purpose).
+* ``"round_robin"`` — sequence-ordered units dealt round-robin
+  across links.
+* ``"weighted"`` — sequence-ordered units, each issued to the link
+  that lands it earliest (weighted by bandwidth).
+
+The native striping policies (deadline / round_robin / weighted)
+handle mispredictions by *hazard-priority escalation*: the stalled
+method's unit (and its class's global unit) jump to the top of the
+next arbitration round — the scoreboard's generalisation of §5.1's
+front-of-queue demand fetch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TransferError
+from ..program import MethodId, Program
+from ..reorder import FirstUseOrder
+from ..transfer import (
+    NetworkLink,
+    TransferController,
+    TransferUnit,
+)
+from ..transfer.interleaved import build_interleaved_file
+from ..transfer.schedule import TransferSchedule, build_schedule
+from ..transfer.streams import StreamEngine
+from ..transfer.units import (
+    ClassTransferPlan,
+    TransferPolicy,
+    UnitKind,
+    build_program_plans,
+)
+from .engine import IssueEngine, LinkChannel, LinkOutage
+from .scoreboard import IssueItem, ItemState, Scoreboard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.simulation import SimulationResult
+    from ..observe import TraceRecorder
+    from ..vm import ExecutionTrace
+
+__all__ = [
+    "POLICIES",
+    "StripedEntry",
+    "StripedController",
+    "striped_sequence",
+    "run_striped",
+]
+
+#: The arbitration policies :class:`StripedController` accepts.
+POLICIES = (
+    "parallel",
+    "interleaved",
+    "deadline",
+    "round_robin",
+    "weighted",
+)
+
+_LINK_CHOICE_OF_POLICY = {
+    "parallel": "least_loaded",
+    "interleaved": "earliest_finish",
+    "deadline": "earliest_finish",
+    "round_robin": "round_robin",
+    "weighted": "earliest_finish",
+}
+
+
+@dataclass(frozen=True)
+class StripedEntry:
+    """One transfer unit with its striping priority.
+
+    Attributes:
+        unit: The unit.
+        deadline: Predicted first-use time in cycles (``math.inf``
+            for units no traced method needs).
+        seq: Position in the virtual interleaved file (sequence-
+            ordered policies, and the deadline tie-break).
+    """
+
+    unit: TransferUnit
+    deadline: float
+    seq: int
+
+    def priority_key(self) -> Tuple[float, int]:
+        return (self.deadline, self.seq)
+
+
+def striped_sequence(
+    plans: Dict[str, ClassTransferPlan],
+    order: FirstUseOrder,
+    cpi: float,
+) -> List[StripedEntry]:
+    """Annotate the interleaved unit sequence with issue deadlines.
+
+    Method units take their method's predicted first-use time
+    (``instructions_before × CPI``); each class's leading global unit
+    takes the earliest deadline among the class's method units (it
+    must retire before any of them); trailing / unpredicted units get
+    ``math.inf``.
+    """
+    if cpi <= 0:
+        raise TransferError(f"CPI must be positive, got {cpi}")
+    sequence = build_interleaved_file(plans, order)
+    deadlines: List[float] = []
+    for unit in sequence:
+        if unit.kind == UnitKind.METHOD and unit.method is not None:
+            if unit.method in order:
+                entry = order.entry_for(unit.method)
+                deadlines.append(entry.instructions_before * cpi)
+            else:
+                deadlines.append(math.inf)
+        else:
+            deadlines.append(math.inf)
+    earliest_of_class: Dict[str, float] = {}
+    for unit, deadline in zip(sequence, deadlines):
+        if unit.kind == UnitKind.METHOD:
+            current = earliest_of_class.get(unit.class_name, math.inf)
+            earliest_of_class[unit.class_name] = min(current, deadline)
+    entries: List[StripedEntry] = []
+    for index, (unit, deadline) in enumerate(zip(sequence, deadlines)):
+        if unit.kind in (UnitKind.GLOBAL_DATA, UnitKind.GLOBAL_FIRST):
+            deadline = earliest_of_class.get(unit.class_name, math.inf)
+        entries.append(
+            StripedEntry(unit=unit, deadline=deadline, seq=index)
+        )
+    return entries
+
+
+class StripedController(TransferController):
+    """Scoreboard-scheduled transfer across one or more links."""
+
+    def __init__(
+        self,
+        program: Program,
+        order: FirstUseOrder,
+        links: Sequence[NetworkLink],
+        cpi: float,
+        policy: str = "deadline",
+        max_streams: Optional[int] = None,
+        data_partitioning: bool = False,
+        outages: Sequence[LinkOutage] = (),
+        escalate: bool = True,
+    ) -> None:
+        if policy not in POLICIES:
+            raise TransferError(
+                f"unknown striping policy {policy!r}; known: {POLICIES}"
+            )
+        if not links:
+            raise TransferError(
+                "StripedController needs at least one link"
+            )
+        unit_policy = (
+            TransferPolicy.DATA_PARTITIONED
+            if data_partitioning
+            else TransferPolicy.NON_STRICT
+        )
+        self.program = program
+        self.order = order
+        self.links: Tuple[NetworkLink, ...] = tuple(links)
+        self.cpi = float(cpi)
+        self.policy = policy
+        self.max_streams = max_streams
+        self.escalate = escalate
+        self.outages: Tuple[LinkOutage, ...] = tuple(outages)
+        self.name = f"striped-{policy}x{len(self.links)}"
+        self.plans: Dict[str, ClassTransferPlan] = build_program_plans(
+            program, unit_policy
+        )
+        self.schedule: Optional[TransferSchedule] = None
+        self.demand_fetches: List[MethodId] = []
+        self._grain = "stream" if self._fidelity_mode() else "unit"
+        if self.outages and self._grain == "stream":
+            raise TransferError(
+                f"link outages are not supported by the "
+                f"{policy!r} policy on this link count"
+            )
+        self._engine: Optional[IssueEngine] = None
+
+    def _fidelity_mode(self) -> bool:
+        """Stream-grain modes reproducing the paper controllers."""
+        if self.policy == "parallel":
+            return True
+        return self.policy == "interleaved" and len(self.links) == 1
+
+    # -- scoreboard construction ------------------------------------------
+
+    def _build_scoreboard(self) -> Scoreboard:
+        board = Scoreboard()
+        if self.policy == "parallel":
+            self.schedule = build_schedule(
+                self.program, self.plans, self.order,
+                self.links[0], self.cpi,
+            )
+            for seq, start in enumerate(self.schedule.in_start_order()):
+                plan = self.plans[start.class_name]
+                board.add_item(
+                    IssueItem(
+                        label=start.class_name,
+                        units=plan.units,
+                        seq=seq,
+                        watermark_bytes=start.start_after_bytes,
+                        watermark_classes=start.dependency_classes,
+                    )
+                )
+            return board
+        if self.policy == "interleaved" and len(self.links) == 1:
+            sequence = build_interleaved_file(self.plans, self.order)
+            board.add_item(
+                IssueItem(
+                    label="interleaved",
+                    units=tuple(sequence),
+                    seq=0,
+                )
+            )
+            return board
+        entries = striped_sequence(self.plans, self.order, self.cpi)
+        use_deadlines = self.policy == "deadline"
+        leading: Dict[str, TransferUnit] = {}
+        for entry in entries:
+            if entry.unit.kind in (
+                UnitKind.GLOBAL_DATA,
+                UnitKind.GLOBAL_FIRST,
+            ):
+                leading[entry.unit.class_name] = entry.unit
+        for entry in entries:
+            board.add_item(
+                IssueItem(
+                    label=self._unit_label(entry),
+                    units=(entry.unit,),
+                    seq=entry.seq,
+                    deadline=(
+                        entry.deadline if use_deadlines else math.inf
+                    ),
+                )
+            )
+            lead = leading.get(entry.unit.class_name)
+            if lead is not None and entry.unit is not lead:
+                # Retire hazard: nothing of a class is usable before
+                # its global unit — the in-order stream invariant,
+                # made explicit so landings may happen out of order.
+                board.add_unit_dep(entry.unit, lead)
+        return board
+
+    @staticmethod
+    def _unit_label(entry: StripedEntry) -> str:
+        unit = entry.unit
+        if unit.method is not None:
+            tail = unit.method.method_name
+        else:
+            tail = unit.kind.value
+        return f"{entry.seq}:{unit.class_name}.{tail}"
+
+    # -- controller interface ---------------------------------------------
+
+    def build_engine(self, link: NetworkLink) -> StreamEngine:
+        engine = IssueEngine(
+            self.links,
+            self._build_scoreboard(),
+            grain=self._grain,
+            link_choice=_LINK_CHOICE_OF_POLICY[self.policy],
+            max_streams=self.max_streams,
+            outages=self.outages,
+            recorder=self.recorder,
+            on_issue=self._on_issue,
+        )
+        self._engine = engine
+        # The simulator's `link` argument is links[0]; the facade
+        # satisfies the same protocol as a StreamEngine.
+        return engine  # type: ignore[return-value]
+
+    def setup(self, engine: StreamEngine) -> None:
+        issue_engine = self._issue_engine(engine)
+        issue_engine.recorder = self.recorder
+        issue_engine.dispatch()
+
+    def required_unit(self, method_id: MethodId) -> TransferUnit:
+        plan = self.plans.get(method_id.class_name)
+        if plan is None:
+            raise TransferError(
+                f"no transfer plan for class {method_id.class_name!r}"
+            )
+        return plan.method_unit(method_id.method_name)
+
+    def next_wakeup(self, engine: StreamEngine) -> Optional[float]:
+        # Everything is event-driven off unit completions; no clock
+        # wake-ups are needed (mirrors the parallel controller).
+        return None
+
+    def on_advance(self, engine: StreamEngine) -> None:
+        # The issue engine dispatches internally at every boundary.
+        return None
+
+    def on_stall(self, engine: StreamEngine, method_id: MethodId) -> None:
+        issue_engine = self._issue_engine(engine)
+        if self.policy == "parallel":
+            self._parallel_stall(issue_engine, method_id)
+            return
+        if self._grain == "stream":
+            # 1-link interleaved: the whole file is already in
+            # flight, in order; nothing can be reordered.
+            return
+        if not self.escalate:
+            return
+        self._escalate_stall(issue_engine, method_id)
+
+    # -- misprediction correction -----------------------------------------
+
+    def _parallel_stall(
+        self, engine: IssueEngine, method_id: MethodId
+    ) -> None:
+        """Mirror of the parallel controller's demand fetch."""
+        class_name = method_id.class_name
+        item = engine.scoreboard.items.get(class_name)
+        if item is None:
+            raise TransferError(
+                f"no transfer plan for class {class_name!r}"
+            )
+        if item.state in (ItemState.WAITING, ItemState.READY):
+            self.demand_fetches.append(method_id)
+            self._demand_event(engine, method_id)
+            engine.demand_issue(class_name)
+            return
+        entry = engine.stream_of(class_name)
+        if entry is not None:
+            channel, stream = entry
+            if not stream.started and not stream.done:
+                self.demand_fetches.append(method_id)
+                self._demand_event(engine, method_id)
+                channel.engine.promote(stream)
+                if self.recorder is not None:
+                    self.recorder.schedule_decision(
+                        engine.time,
+                        action="promote",
+                        target=class_name,
+                        reason="demand_fetch",
+                    )
+
+    def _escalate_stall(
+        self, engine: IssueEngine, method_id: MethodId
+    ) -> None:
+        """Hazard-priority escalation for the native policies."""
+        board = engine.scoreboard
+        try:
+            needed = self.required_unit(method_id)
+        except TransferError:
+            return
+        labels = [board.label_of(needed)]
+        plan = self.plans[method_id.class_name]
+        lead = plan.units[0]
+        if lead is not needed:
+            try:
+                labels.append(board.label_of(lead))
+            except TransferError:
+                pass
+        escalated = [
+            label for label in labels if board.escalate(label)
+        ]
+        if not escalated:
+            return
+        self.demand_fetches.append(method_id)
+        self._demand_event(engine, method_id)
+        engine.rebalance_event(
+            "demand_escalation",
+            method=str(method_id),
+            items=len(escalated),
+        )
+        engine.dispatch()
+
+    def _demand_event(
+        self, engine: IssueEngine, method_id: MethodId
+    ) -> None:
+        if self.recorder is not None:
+            self.recorder.demand_fetch(
+                engine.time, method=str(method_id)
+            )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _issue_engine(self, engine: StreamEngine) -> IssueEngine:
+        if not isinstance(engine, IssueEngine):
+            raise TransferError(
+                "StripedController must drive the IssueEngine it "
+                "built (got a bare StreamEngine)"
+            )
+        return engine
+
+    def _on_issue(self, item: IssueItem, channel: LinkChannel) -> None:
+        if self.recorder is None:
+            return
+        if self.policy == "parallel" and self.schedule is not None:
+            start = self.schedule.start_for(item.label)
+            self.recorder.schedule_decision(
+                self._engine.time if self._engine is not None else 0.0,
+                action=(
+                    "demand_start" if item.escalated else "stream_start"
+                ),
+                target=item.label,
+                start_after_bytes=start.start_after_bytes,
+                required_prefix_bytes=start.required_prefix_bytes,
+            )
+
+
+def run_striped(
+    program: Program,
+    trace: "ExecutionTrace",
+    order: FirstUseOrder,
+    links: Sequence[NetworkLink],
+    cpi: float,
+    policy: str = "deadline",
+    max_streams: Optional[int] = None,
+    data_partitioning: bool = False,
+    outages: Sequence[LinkOutage] = (),
+    escalate: bool = True,
+    restructure: bool = True,
+    recorder: Optional["TraceRecorder"] = None,
+) -> "SimulationResult":
+    """Co-simulate one striped configuration end to end.
+
+    The multi-link twin of :func:`repro.core.run_nonstrict`: the
+    program is restructured into first-use order (unless
+    ``restructure=False``), a :class:`StripedController` is built
+    over the link set, and the co-simulator replays the trace.
+
+    Returns:
+        The :class:`repro.core.SimulationResult`.
+    """
+    from ..core.simulation import Simulator
+    from ..reorder import restructure as apply_restructure
+
+    target = (
+        apply_restructure(program, order) if restructure else program
+    )
+    controller = StripedController(
+        target,
+        order,
+        links,
+        cpi,
+        policy=policy,
+        max_streams=max_streams,
+        data_partitioning=data_partitioning,
+        outages=outages,
+        escalate=escalate,
+    )
+    simulator = Simulator(
+        target, trace, controller, links[0], cpi, recorder=recorder
+    )
+    return simulator.run()

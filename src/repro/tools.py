@@ -13,7 +13,10 @@ Subcommands (all operate on a program directory written by
   dead methods) and export findings as SARIF 2.1.0 / JSON; exits
   nonzero when an error-severity finding is present;
 * ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
-  stored trace against strict and non-strict transfer;
+  stored trace against strict and non-strict transfer; with
+  ``--links SPEC`` (comma-separated ``t1``/``modem``/bits-per-second
+  tokens) the non-strict run stripes transfer units across every
+  listed link through :mod:`repro.sched` under ``--sched-policy``;
 * ``trace DIR TRACE --out trace.json`` — run one traced configuration
   (simulated cycles, or ``--netserve`` for real sockets) and export
   the unified event stream as a Chrome-loadable trace, JSON-lines,
@@ -42,12 +45,42 @@ from .datapart import partition_class
 from .errors import ReproError
 from .linker import verify_class
 from .reorder import estimate_first_use
+from .sched import POLICIES as _SCHED_POLICIES
 from .storage import load_program, load_trace
 from .transfer import MODEM_LINK, T1_LINK, lossy_link
 
 __all__ = ["main"]
 
 _LINKS = {"t1": T1_LINK, "modem": MODEM_LINK}
+
+
+def _parse_links(spec: str):
+    """Parse a ``--links`` spec into a tuple of network links.
+
+    Each comma-separated token is a named link (``t1``, ``modem``) or
+    a bandwidth in bits/second (e.g. ``57600``).
+    """
+    from .transfer import link_from_bandwidth
+
+    links = []
+    for index, raw in enumerate(spec.split(",")):
+        token = raw.strip()
+        if token in _LINKS:
+            links.append(_LINKS[token])
+            continue
+        try:
+            bps = float(token)
+        except ValueError:
+            raise ReproError(
+                f"bad --links token {token!r}: expected "
+                f"{'/'.join(sorted(_LINKS))} or a bits-per-second number"
+            ) from None
+        links.append(
+            link_from_bandwidth(f"link{index}@{bps:g}bps", bps)
+        )
+    if not links:
+        raise ReproError("--links needs at least one link")
+    return tuple(links)
 
 
 def _cmd_disasm(arguments) -> int:
@@ -206,16 +239,36 @@ def _cmd_simulate(arguments) -> int:
         )
     order = estimate_first_use(program)
     base = strict_baseline(program, trace, link, arguments.cpi)
-    result = run_nonstrict(
-        program,
-        trace,
-        order,
-        link,
-        arguments.cpi,
-        method=arguments.method,
-        max_streams=arguments.streams,
-        data_partitioning=arguments.partition,
-    )
+    if arguments.links:
+        from .sched import run_striped
+
+        links = _parse_links(arguments.links)
+        result = run_striped(
+            program,
+            trace,
+            order,
+            links,
+            arguments.cpi,
+            policy=arguments.sched_policy,
+            max_streams=arguments.streams,
+            data_partitioning=arguments.partition,
+        )
+        print(
+            f"striped links:     "
+            f"{', '.join(one.name for one in links)} "
+            f"(policy {arguments.sched_policy})"
+        )
+    else:
+        result = run_nonstrict(
+            program,
+            trace,
+            order,
+            link,
+            arguments.cpi,
+            method=arguments.method,
+            max_streams=arguments.streams,
+            data_partitioning=arguments.partition,
+        )
     print(f"strict total:      {base.total_cycles:,.0f} cycles")
     print(f"non-strict total:  {result.total_cycles:,.0f} cycles")
     print(
@@ -654,6 +707,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     simulate.add_argument("--streams", type=int, default=None)
     simulate.add_argument("--partition", action="store_true")
+    simulate.add_argument(
+        "--links",
+        default=None,
+        help="stripe across multiple links: comma-separated t1/modem "
+        "names or bits-per-second numbers (e.g. '57600,modem,modem'); "
+        "overrides --link/--method for the non-strict run",
+    )
+    simulate.add_argument(
+        "--sched-policy",
+        choices=_SCHED_POLICIES,
+        default="deadline",
+        help="arbitration policy for --links striping",
+    )
     simulate.add_argument(
         "--loss",
         type=float,

@@ -16,6 +16,7 @@ from .link import (
     LossyLink,
     NetworkLink,
     link_from_bandwidth,
+    links_from_bandwidths,
     lossy_link,
 )
 from .parallel import ParallelController
@@ -46,6 +47,7 @@ __all__ = [
     "LossyLink",
     "NetworkLink",
     "link_from_bandwidth",
+    "links_from_bandwidths",
     "lossy_link",
     "ParallelController",
     "ScheduledStart",

@@ -16,6 +16,7 @@ from .units import TransferUnit
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..observe import TraceRecorder
+    from .link import NetworkLink
 
 __all__ = ["TransferController"]
 
@@ -34,6 +35,16 @@ class TransferController:
     #: attaches before ``setup``; controllers emit their
     #: ``schedule_decision`` / ``demand_fetch`` events into it.
     recorder: Optional["TraceRecorder"] = None
+
+    def build_engine(self, link: "NetworkLink") -> StreamEngine:
+        """Build the transfer engine this controller drives.
+
+        The default is the single-link processor-sharing
+        :class:`StreamEngine`; multi-link controllers (see
+        :mod:`repro.sched`) override this to supply their own
+        engine implementing the same simulator-facing protocol.
+        """
+        return StreamEngine(link, max_streams=self.max_streams)
 
     def setup(self, engine: StreamEngine) -> None:
         """Request initial streams; called once at simulation start."""

@@ -9,6 +9,7 @@ directly comparable in shape.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from ..errors import TransferError
 
@@ -18,6 +19,7 @@ __all__ = [
     "T1_LINK",
     "MODEM_LINK",
     "link_from_bandwidth",
+    "links_from_bandwidths",
     "lossy_link",
 ]
 
@@ -71,6 +73,38 @@ def link_from_bandwidth(
     return NetworkLink(
         name=name, cycles_per_byte=cpu_hz / bytes_per_second
     )
+
+
+def links_from_bandwidths(
+    bits_per_second: Sequence[float],
+    cpu_hz: float = CPU_HZ,
+    prefix: str = "link",
+) -> Tuple[NetworkLink, ...]:
+    """Build a validated heterogeneous link set from bandwidths.
+
+    Each bandwidth (bits/second) becomes one :class:`NetworkLink` named
+    deterministically from its position and rate
+    (``"link0@1e+06bps"``), so sweep configurations, CLI ``--links``
+    specs, and persisted benchmark rows all agree on link identity.
+
+    Raises:
+        TransferError: If the sequence is empty or any bandwidth is
+            non-positive.
+    """
+    if not bits_per_second:
+        raise TransferError("links_from_bandwidths needs >= 1 bandwidth")
+    links = []
+    for index, bps in enumerate(bits_per_second):
+        if bps <= 0:
+            raise TransferError(
+                f"bandwidth must be positive, got {bps} at index {index}"
+            )
+        links.append(
+            link_from_bandwidth(
+                f"{prefix}{index}@{bps:g}bps", bps, cpu_hz=cpu_hz
+            )
+        )
+    return tuple(links)
 
 
 @dataclass(frozen=True)

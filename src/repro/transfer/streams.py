@@ -261,6 +261,30 @@ class StreamEngine:
                 step_to = wake_time
         return step_to
 
+    def next_event_dt(self) -> Optional[float]:
+        """Cycles until this engine's earliest unit completion, if any.
+
+        Public counterpart of the internal completion query, used by
+        multi-link facades (:mod:`repro.sched`) that advance several
+        engines in lockstep to the globally earliest event boundary.
+        """
+        return self._next_completion_dt()
+
+    def advance(
+        self,
+        step_to: float,
+        on_advance: Optional[Callable[["StreamEngine"], None]] = None,
+    ) -> None:
+        """Take exactly one bounded step to ``step_to``.
+
+        ``step_to`` must not lie beyond this engine's next completion
+        boundary (callers computing a global minimum over several
+        engines guarantee this).  A ``step_to`` at or before the
+        current time snaps the nearest completion to done, exactly as
+        :meth:`run_until` does when float resolution swallows a step.
+        """
+        self._step(step_to, on_advance)
+
     def run_until(
         self,
         target_time: float,

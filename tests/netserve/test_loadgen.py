@@ -163,3 +163,57 @@ def test_format_report_renders_every_cell():
     text = format_report(report)
     assert "c2-unpaced-non_strict-static" in text
     assert "overall cache hit rate" in text
+
+
+# -- multi-link striping -----------------------------------------------
+
+
+def test_multilink_cell_stripes_workers_round_robin(tmp_path):
+    cell = LoadCell(clients=5, links=(None, 20_000.0))
+    assert cell.label == "c5-links2[unpaced+20000]-non_strict-static"
+    assert cell.link_bandwidths == (None, 20_000.0)
+    result = run(run_cell(figure1_program(), cell))
+    assert result.completed == 5
+    assert [row["link"] for row in result.per_worker] == [0, 1, 0, 1, 0]
+    assert all(row["status"] == "ok" for row in result.per_worker)
+    assert len(result.per_link) == 2
+    assert result.per_link[0]["workers"] == 3
+    assert result.per_link[1]["workers"] == 2
+    assert result.per_link[0]["bandwidth"] is None
+    assert result.per_link[1]["bandwidth"] == 20_000.0
+    # Aggregates are the sum over links.
+    assert result.aggregate_bytes == sum(
+        row["bytes_sent"] for row in result.per_link
+    )
+    # The paced link is measurably slower than the unpaced one.
+    assert (
+        result.per_link[1]["latency_ms"]["p50"]
+        > result.per_link[0]["latency_ms"]["p50"]
+    )
+    # Breakdowns survive the BENCH_serve.json round trip.
+    report = run(
+        run_sweep(figure1_program(), [cell])
+    )
+    target = write_bench_json(report, tmp_path / "BENCH_serve.json")
+    data = json.loads(target.read_text())
+    row = data["cells"][0]
+    assert len(row["per_link"]) == 2
+    assert len(row["per_worker"]) == 5
+    assert all("status" in worker for worker in row["per_worker"])
+
+
+def test_single_link_cell_still_reports_breakdowns():
+    result = run(run_cell(figure1_program(), LoadCell(clients=2)))
+    assert len(result.per_link) == 1
+    assert result.per_link[0]["workers"] == 2
+    assert [row["worker"] for row in result.per_worker] == [0, 1]
+
+
+def test_sweep_cells_link_sets_extend_run_table():
+    cells = sweep_cells(
+        [2], bandwidths=[None], link_sets=[None, (8000.0, 4000.0)]
+    )
+    assert len(cells) == 2
+    assert cells[0].links is None
+    assert cells[1].links == (8000.0, 4000.0)
+    assert "links2[8000+4000]" in cells[1].label

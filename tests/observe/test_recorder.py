@@ -29,6 +29,9 @@ def fully_populated_recorder():
     )
     recorder.cache_lookup(38.0, hit=True, policy="non_strict")
     recorder.connection_rejected(39.0, reason="busy", limit=64)
+    recorder.unit_issued(40.0, class_name="B", link="0:t1", bytes=64)
+    recorder.link_busy(40.0, link="0:t1", duration=3.0, label="B")
+    recorder.stripe_rebalance(43.0, reason="link_outage", requeued=2)
     return recorder
 
 

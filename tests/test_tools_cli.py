@@ -99,6 +99,39 @@ def test_simulate(stored, capsys):
     assert "strict total:" in out
 
 
+def test_simulate_striped_links(stored, capsys):
+    directory, trace = stored
+    assert (
+        main(
+            [
+                "simulate",
+                directory,
+                trace,
+                "--links",
+                "modem,57600",
+                "--sched-policy",
+                "deadline",
+                "--cpi",
+                "50",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "striped links:" in out
+    assert "modem, link1@57600bps" in out
+    assert "policy deadline" in out
+
+
+def test_simulate_rejects_bad_links_spec(stored, capsys):
+    directory, trace = stored
+    assert (
+        main(["simulate", directory, trace, "--links", "t1,carrier-pigeon"])
+        == 2
+    )
+    assert "bad --links token" in capsys.readouterr().err
+
+
 def test_errors_exit_2(tmp_path, capsys):
     assert main(["layout", str(tmp_path / "missing")]) == 2
     assert "error:" in capsys.readouterr().err
