@@ -85,14 +85,19 @@ def sched_sweep():
                         "config": config_label,
                         "links": [link.name for link in links],
                         "policy": "deadline",
-                        "total_cycles": result.total_cycles,
+                        # Cycle counts are rounded to integers at the
+                        # serialization boundary: the simulator's float
+                        # cycle values (e.g. 276527777.77777773) would
+                        # make baseline diffs depend on float printing,
+                        # and sub-cycle precision is meaningless.
+                        "total_cycles": round(result.total_cycles),
                         "normalized_percent": round(normalized, 2),
                         "stalls": result.stall_count,
-                        "entry_latency_cycles": (
+                        "entry_latency_cycles": round(
                             result.latencies.entries[0].latency
                         ),
-                        "mean_first_invocation_cycles": _mean_latency(
-                            result
+                        "mean_first_invocation_cycles": round(
+                            _mean_latency(result)
                         ),
                     }
                 )

@@ -1,0 +1,230 @@
+"""Engine A/B: batched event-core vs reference per-segment stepping.
+
+Times :func:`repro.harness.figure6_summary` — the heaviest experiment
+in the suite (4 configurations × 2 links × 3 orderings × 6 workloads)
+— under both simulation engines, and sweeps the same grid with the
+batched engine to fingerprint every simulated cycle count.  The
+payload is persisted to ``BENCH_sim.json``:
+
+* ``rows`` — one entry per grid point with integer-rounded cycle
+  counts and first-invocation latencies.  These are **deterministic**
+  (the batched engine replicates the reference float arithmetic
+  bit-for-bit); any diff against the committed file means simulated
+  behaviour changed.
+* ``engines`` / ``speedup`` — wall-clock seconds per engine and their
+  ratio.  Walls are machine-dependent; the CI gate
+  (``benchmarks/perf_gate.py``) therefore compares the *ratio* against
+  the committed baseline, not raw seconds.
+
+The committed file is the perf-gate baseline: regenerate it only
+deliberately (``python benchmarks/perf_gate.py --update-baseline``)
+and commit the diff.  The pytest entry point below never rewrites it
+unless ``REPRO_REBASELINE=1`` is set.
+
+``REPRO_PERF_HANDICAP=<fraction>`` inflates the measured batched wall
+by that fraction (busy-wait inside the timed region).  It exists so CI
+can prove the gate actually fails on a synthetic slowdown (e.g.
+``0.2`` ≈ 20% regression) without hunting for a real one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import run_nonstrict, strict_baseline
+from repro.harness import BENCHMARK_NAMES, bundle, figure6_summary
+from repro.harness import experiments as _experiments
+from repro.harness.results import ResultTable
+from repro.transfer import MODEM_LINK, T1_LINK
+
+#: The Figure 6 configuration grid (label, method, max_streams, dp).
+CONFIGS: Tuple[Tuple[str, str, Optional[int], bool], ...] = (
+    ("Parallel File Transfer", "parallel", 4, False),
+    ("PFC Data Partitioned", "parallel", 4, True),
+    ("Interleaved File Transfer", "interleaved", None, False),
+    ("IFC Data Partitioned", "interleaved", None, True),
+)
+
+LINKS = (("T1", T1_LINK), ("modem", MODEM_LINK))
+
+ORDERINGS = ("SCG", "Train", "Test")
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _clear_experiment_caches() -> None:
+    """Drop memoized simulation results, keep the workload bundles.
+
+    ``bundle`` is engine-independent (workload generation + orders);
+    keeping it warm means both timed runs measure *simulation*, not
+    program synthesis.
+    """
+    _experiments._normalized.cache_clear()
+    _experiments._baseline.cache_clear()
+
+
+def _handicap_fraction() -> float:
+    raw = os.environ.get("REPRO_PERF_HANDICAP", "").strip()
+    return float(raw) if raw else 0.0
+
+
+def timed_figure6(engine: str, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall seconds for ``figure6_summary``.
+
+    Taking the minimum over repeats is the standard defence against
+    scheduler noise; single-shot walls vary enough (±10% on a loaded
+    CI machine) to trip a 15% gate spuriously.
+    """
+    walls = []
+    previous = os.environ.get("REPRO_SIM_ENGINE")
+    for _ in range(repeats):
+        _clear_experiment_caches()
+        os.environ["REPRO_SIM_ENGINE"] = engine
+        try:
+            start = time.perf_counter()
+            figure6_summary()
+            wall = time.perf_counter() - start
+            if engine == "batched":
+                handicap = _handicap_fraction()
+                if handicap > 0.0:
+                    deadline = time.perf_counter() + wall * handicap
+                    while time.perf_counter() < deadline:
+                        pass
+                    wall = wall * (1.0 + handicap)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIM_ENGINE", None)
+            else:
+                os.environ["REPRO_SIM_ENGINE"] = previous
+            _clear_experiment_caches()
+        walls.append(wall)
+    return min(walls)
+
+
+def _mean_latency(result) -> float:
+    entries = result.latencies.entries
+    return sum(entry.latency for entry in entries) / len(entries)
+
+
+def sim_rows() -> List[Dict[str, object]]:
+    """Cycle fingerprint of the full grid (batched engine).
+
+    Integer-rounded at the serialization boundary like the other
+    ``BENCH_*`` files: sub-cycle float digits are meaningless and
+    would make baseline diffs depend on float printing.
+    """
+    rows: List[Dict[str, object]] = []
+    for name in BENCHMARK_NAMES:
+        item = bundle(name)
+        workload = item.workload
+        for link_name, link in LINKS:
+            base = strict_baseline(
+                workload.program,
+                workload.test_trace,
+                link,
+                workload.cpi,
+            )
+            for ordering in ORDERINGS:
+                order = item.order(ordering)
+                for label, method, max_streams, partitioned in CONFIGS:
+                    result = run_nonstrict(
+                        workload.program,
+                        workload.test_trace,
+                        order,
+                        link,
+                        workload.cpi,
+                        method=method,
+                        max_streams=max_streams,
+                        data_partitioning=partitioned,
+                        engine="batched",
+                    )
+                    rows.append(
+                        {
+                            "workload": name,
+                            "link": link_name,
+                            "ordering": ordering,
+                            "config": label,
+                            "total_cycles": round(result.total_cycles),
+                            "stalls": result.stall_count,
+                            "entry_latency_cycles": round(
+                                result.latencies.entries[0].latency
+                            ),
+                            "mean_first_invocation_cycles": round(
+                                _mean_latency(result)
+                            ),
+                            "normalized_percent": round(
+                                result.normalized_to(
+                                    base.total_cycles
+                                ),
+                                2,
+                            ),
+                        }
+                    )
+    return rows
+
+
+def sim_sweep() -> Dict[str, object]:
+    """Full payload: cycle fingerprint plus engine wall times."""
+    rows = sim_rows()  # also warms every bundle before timing
+    batched_warmup = timed_figure6("batched")
+    reference_wall = timed_figure6("reference", repeats=2)
+    batched_wall = timed_figure6("batched", repeats=3)
+    return {
+        "schema": "repro.sim.bench/1",
+        "engines": {
+            "reference": {
+                "figure6_wall_s": round(reference_wall, 3),
+            },
+            "batched": {
+                "figure6_wall_s": round(batched_wall, 3),
+                "figure6_warmup_wall_s": round(batched_warmup, 3),
+            },
+        },
+        "speedup": round(reference_wall / batched_wall, 2),
+        "rows": rows,
+    }
+
+
+def summary_table(payload: Dict[str, object]) -> ResultTable:
+    engines = payload["engines"]
+    table = ResultTable(
+        key="sim_engines",
+        title="Simulation engine A/B (figure6_summary wall)",
+        columns=["Engine", "Wall (s)", "Speedup"],
+    )
+    table.add_row(
+        "reference",
+        engines["reference"]["figure6_wall_s"],
+        1.0,
+    )
+    table.add_row(
+        "batched",
+        engines["batched"]["figure6_wall_s"],
+        payload["speedup"],
+    )
+    return table
+
+
+def test_batched_engine_speedup(benchmark, show):
+    payload = benchmark.pedantic(sim_sweep, rounds=1, iterations=1)
+    show(summary_table(payload))
+    if BENCH_PATH.exists():
+        baseline = json.loads(BENCH_PATH.read_text())
+        assert payload["rows"] == baseline["rows"], (
+            "simulated cycle counts drifted from the committed "
+            "BENCH_sim.json baseline — engine behaviour changed"
+        )
+    # Conservative in-test floor; the committed baseline records the
+    # real ratio (>=10x) and perf_gate.py polices regressions from it.
+    assert payload["speedup"] >= 5.0, (
+        f"batched engine only {payload['speedup']}x faster than the "
+        "reference on figure6_summary"
+    )
+    if os.environ.get("REPRO_REBASELINE") == "1":
+        BENCH_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

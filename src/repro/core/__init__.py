@@ -10,7 +10,12 @@ from .metrics import (
     strict_baseline,
 )
 from .nonstrict import run_nonstrict, run_strict
-from .simulation import SimulationResult, Simulator, StallEvent
+from .simulation import (
+    SimulationResult,
+    Simulator,
+    StallEvent,
+    resolve_engine,
+)
 
 __all__ = [
     "JitModel",
@@ -28,4 +33,5 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "StallEvent",
+    "resolve_engine",
 ]

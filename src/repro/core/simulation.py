@@ -20,6 +20,7 @@ strict controller (whole-file units) with a strict-semantics trace.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Set
 
@@ -32,7 +33,25 @@ from .metrics import InvocationLatencyReport
 if TYPE_CHECKING:  # pragma: no cover
     from ..observe import TraceRecorder
 
-__all__ = ["StallEvent", "SimulationResult", "Simulator"]
+__all__ = ["StallEvent", "SimulationResult", "Simulator", "resolve_engine"]
+
+_ENGINES = ("reference", "batched")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an ``engine=`` argument to a concrete engine name.
+
+    ``None`` falls back to the ``REPRO_SIM_ENGINE`` environment
+    variable, then to ``"reference"``.  The batched engine is
+    cycle-exact (see :mod:`repro.core.fastsim`), so either choice
+    produces identical results — only wall-clock differs.
+    """
+    resolved = engine or os.environ.get("REPRO_SIM_ENGINE") or "reference"
+    if resolved not in _ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {resolved!r}; pick from {_ENGINES}"
+        )
+    return resolved
 
 
 def _cycle_latency_report() -> InvocationLatencyReport:
@@ -113,6 +132,13 @@ class Simulator:
             ``method_first_invoke``, ``stall_begin``/``stall_end``, and
             the controller's ``schedule_decision``/``demand_fetch``
             events on the simulated clock.
+        engine: ``"reference"`` (the readable per-segment loop below)
+            or ``"batched"`` (the event-batched hot path in
+            :mod:`repro.core.fastsim` — cycle-exact, ~10× faster).
+            ``None`` defers to ``REPRO_SIM_ENGINE``, default
+            ``"reference"``.  Recorded runs always use the reference
+            loop so the event stream (and the recorder's zero-cost
+            disabled path) is untouched.
     """
 
     def __init__(
@@ -123,6 +149,7 @@ class Simulator:
         link: NetworkLink,
         cpi: float,
         recorder: Optional["TraceRecorder"] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if cpi <= 0:
             raise SimulationError(f"CPI must be positive, got {cpi}")
@@ -132,9 +159,14 @@ class Simulator:
         self.link = link
         self.cpi = float(cpi)
         self.recorder = recorder
+        self.engine = resolve_engine(engine)
 
     def run(self) -> SimulationResult:
         """Run the co-simulation to completion."""
+        if self.engine == "batched" and self.recorder is None:
+            from .fastsim import run_batched
+
+            return run_batched(self)
         engine = self.controller.build_engine(self.link)
         controller = self.controller
         recorder = self.recorder

@@ -438,6 +438,7 @@ def run_striped(
     escalate: bool = True,
     restructure: bool = True,
     recorder: Optional["TraceRecorder"] = None,
+    engine: Optional[str] = None,
 ) -> "SimulationResult":
     """Co-simulate one striped configuration end to end.
 
@@ -445,6 +446,10 @@ def run_striped(
     program is restructured into first-use order (unless
     ``restructure=False``), a :class:`StripedController` is built
     over the link set, and the co-simulator replays the trace.
+    ``engine="batched"`` routes the run through the generic batched
+    loop in :mod:`repro.core.fastsim` (the :class:`IssueEngine` still
+    advances through identical event boundaries, so results are
+    cycle-exact).
 
     Returns:
         The :class:`repro.core.SimulationResult`.
@@ -467,6 +472,12 @@ def run_striped(
         escalate=escalate,
     )
     simulator = Simulator(
-        target, trace, controller, links[0], cpi, recorder=recorder
+        target,
+        trace,
+        controller,
+        links[0],
+        cpi,
+        recorder=recorder,
+        engine=engine,
     )
     return simulator.run()

@@ -33,12 +33,30 @@ class Frame:
     stack: List[Any] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.instructions: List[Instruction] = self.method.instructions
-        offsets = offsets_of(self.instructions)
-        self.offsets: List[int] = offsets
-        self.offset_to_index: Dict[int, int] = {
-            offset: index for index, offset in enumerate(offsets)
-        }
+        # The offset tables depend only on the instruction list, so
+        # they are computed once per method and shared by every
+        # activation (frames never mutate them).  Keyed on the list's
+        # identity: a method whose instructions are replaced gets a
+        # fresh layout.
+        method = self.method
+        instructions: List[Instruction] = method.instructions
+        cached = getattr(method, "_frame_layout", None)
+        if cached is not None and cached[0] is instructions:
+            self.instructions = instructions
+            self.offsets: List[int] = cached[1]
+            self.offset_to_index: Dict[int, int] = cached[2]
+        else:
+            self.instructions = instructions
+            offsets = offsets_of(instructions)
+            self.offsets = offsets
+            self.offset_to_index = {
+                offset: index for index, offset in enumerate(offsets)
+            }
+            method._frame_layout = (  # type: ignore[attr-defined]
+                instructions,
+                offsets,
+                self.offset_to_index,
+            )
         needed = max(self.method.max_locals, len(self.locals))
         if needed > MAX_LOCAL_SLOTS:
             raise VMError(

@@ -123,6 +123,33 @@ def test_simulate_striped_links(stored, capsys):
     assert "policy deadline" in out
 
 
+def test_simulate_engine_ab_identical(stored, capsys):
+    """--engine batched prints exactly what --engine reference does."""
+    directory, trace = stored
+    outputs = {}
+    for engine in ("reference", "batched"):
+        assert (
+            main(
+                [
+                    "simulate",
+                    directory,
+                    trace,
+                    "--link",
+                    "modem",
+                    "--cpi",
+                    "50",
+                    "--method",
+                    "parallel",
+                    "--engine",
+                    engine,
+                ]
+            )
+            == 0
+        )
+        outputs[engine] = capsys.readouterr().out
+    assert outputs["reference"] == outputs["batched"]
+
+
 def test_simulate_rejects_bad_links_spec(stored, capsys):
     directory, trace = stored
     assert (
