@@ -17,6 +17,7 @@ from .injector import (
     InjectedFault,
 )
 from .plan import FaultPlan
+from .rng import derive_rng, derive_seed
 
 __all__ = [
     "ConnectionFaults",
@@ -24,4 +25,6 @@ __all__ = [
     "FaultPlan",
     "FrameDirective",
     "InjectedFault",
+    "derive_rng",
+    "derive_seed",
 ]

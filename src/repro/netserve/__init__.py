@@ -48,6 +48,7 @@ from .protocol import (
     unit_wire_key,
 )
 from .server import REORDER_STRATEGIES, ClassFileServer, TokenBucket
+from .striped import LinkState, StripedResilientFetcher
 from .stats import (
     ConnectionStats,
     FetchStats,
@@ -98,6 +99,8 @@ __all__ = [
     "REORDER_STRATEGIES",
     "ClassFileServer",
     "TokenBucket",
+    "LinkState",
+    "StripedResilientFetcher",
     "ConnectionStats",
     "FetchStats",
     "ServerStats",

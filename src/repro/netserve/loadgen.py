@@ -41,6 +41,7 @@ from .cache import ArtifactCache
 from .client import NonStrictFetcher
 from .resilient import ResilientFetcher
 from .server import ClassFileServer
+from .striped import StripedResilientFetcher
 
 __all__ = [
     "LoadCell",
@@ -79,6 +80,15 @@ class LoadCell:
             link and workers are striped round-robin across them
             (worker ``i`` fetches over link ``i % len(links)``);
             ``bandwidth`` is ignored.
+        striped: With ``links`` set, make every worker a
+            :class:`~.striped.StripedResilientFetcher` over *all*
+            endpoints at once (true multi-socket transfer) instead of
+            the round-robin single-link assignment.
+        link_fault_plans: Optional per-link fault plans, one entry per
+            link (``None`` = that link is clean).  This is how a cell
+            models *one* outage-prone link in an otherwise healthy
+            stripe; ``fault_plan`` still applies to every link when
+            set and this is not.
     """
 
     clients: int
@@ -87,6 +97,36 @@ class LoadCell:
     strategy: str = "static"
     fault_plan: Optional[FaultPlanLike] = None
     links: Optional[Tuple[Optional[float], ...]] = None
+    striped: bool = False
+    link_fault_plans: Optional[
+        Tuple[Optional[FaultPlanLike], ...]
+    ] = None
+
+    def __post_init__(self) -> None:
+        if self.striped and not self.links:
+            raise ValueError("a striped cell needs `links`")
+        if self.link_fault_plans is not None and (
+            not self.links
+            or len(self.link_fault_plans) != len(self.links)
+        ):
+            raise ValueError(
+                "link_fault_plans must match `links` one-to-one"
+            )
+
+    @property
+    def faulted(self) -> bool:
+        """True when any link of this cell injects faults."""
+        if self.fault_plan is not None:
+            return True
+        return self.link_fault_plans is not None and any(
+            plan is not None for plan in self.link_fault_plans
+        )
+
+    def plan_for_link(self, link: int) -> Optional[FaultPlanLike]:
+        """The fault plan applied to one link's server."""
+        if self.link_fault_plans is not None:
+            return self.link_fault_plans[link]
+        return self.fault_plan
 
     @property
     def link_bandwidths(self) -> Tuple[Optional[float], ...]:
@@ -102,7 +142,8 @@ class LoadCell:
                 "unpaced" if bw is None else f"{bw:g}"
                 for bw in self.links
             )
-            pacing = f"links{len(self.links)}[{paced}]"
+            mode = "striped" if self.striped else "links"
+            pacing = f"{mode}{len(self.links)}[{paced}]"
         elif self.bandwidth is None:
             pacing = "unpaced"
         else:
@@ -113,7 +154,7 @@ class LoadCell:
             self.policy,
             self.strategy,
         ]
-        if self.fault_plan is not None:
+        if self.faulted:
             parts.append("faults")
         return "-".join(parts)
 
@@ -233,12 +274,14 @@ def sweep_cells(
     link_sets: Sequence[
         Optional[Tuple[Optional[float], ...]]
     ] = (None,),
+    striped: bool = False,
 ) -> List[LoadCell]:
     """The full cross product clients × bandwidth × fault plans.
 
     ``link_sets`` adds multi-link rows: each non-``None`` entry is a
     tuple of per-link bandwidths striped round-robin across workers
-    (``bandwidths`` is ignored for those rows).
+    (``bandwidths`` is ignored for those rows).  With ``striped`` the
+    multi-link rows run every worker across all endpoints at once.
     """
     return [
         LoadCell(
@@ -248,6 +291,7 @@ def sweep_cells(
             strategy=strategy,
             fault_plan=plan,
             links=links,
+            striped=striped and links is not None,
         )
         for count in clients
         for bandwidth in bandwidths
@@ -264,7 +308,7 @@ async def _one_session(
 ) -> float:
     """One client session; returns first-invocation latency (seconds)."""
     fetcher: NonStrictFetcher
-    if cell.fault_plan is not None:
+    if cell.faulted:
         fetcher = ResilientFetcher(
             host,
             port,
@@ -280,6 +324,28 @@ async def _one_session(
             strategy=cell.strategy,
             connect_timeout=connect_timeout,
         )
+    return await _drive_session(fetcher)
+
+
+async def _one_striped_session(
+    endpoints: Sequence[Tuple[str, int]],
+    cell: LoadCell,
+    connect_timeout: float,
+    worker: int,
+) -> float:
+    """One striped worker fetching across every endpoint at once."""
+    fetcher = StripedResilientFetcher(
+        endpoints,
+        policy=cell.policy,
+        strategy=cell.strategy,
+        connect_timeout=connect_timeout,
+        rng_scope=f"worker-{worker}",
+    )
+    return await _drive_session(fetcher)
+
+
+async def _drive_session(fetcher: NonStrictFetcher) -> float:
+    """Connect, time the entry method, drain, close; returns latency."""
     manifest = await fetcher.connect()
     try:
         entry = manifest.get("entry")
@@ -331,27 +397,41 @@ async def run_cell(
             per_connection_bandwidth=per_connection_bandwidth,
             max_connections=max_connections,
             cache=shared_cache,
-            fault_plan=cell.fault_plan,
+            fault_plan=cell.plan_for_link(link),
         )
-        for link_bandwidth in bandwidths
+        for link, link_bandwidth in enumerate(bandwidths)
     ]
     endpoints = [await server.start() for server in servers]
-    # Worker i fetches over link i % N — round-robin striping.
-    assignment = [
-        worker % len(servers) for worker in range(cell.clients)
-    ]
+    # Worker i fetches over link i % N — round-robin striping —
+    # unless the cell is striped, in which case every worker spans
+    # all endpoints at once and latency attributes to no single link.
+    assignment: List[Optional[int]]
+    if cell.striped:
+        assignment = [None] * cell.clients
+        sessions = [
+            _one_striped_session(
+                endpoints, cell, connect_timeout, worker
+            )
+            for worker in range(cell.clients)
+        ]
+    else:
+        assignment = [
+            worker % len(servers) for worker in range(cell.clients)
+        ]
+        sessions = [
+            _one_session(
+                endpoints[link][0],
+                endpoints[link][1],
+                cell,
+                connect_timeout,
+            )
+            for link in assignment
+            if link is not None
+        ]
     started = time.monotonic()
     try:
         outcomes = await asyncio.gather(
-            *(
-                _one_session(
-                    endpoints[link][0],
-                    endpoints[link][1],
-                    cell,
-                    connect_timeout,
-                )
-                for link in assignment
-            ),
+            *sessions,
             return_exceptions=True,
         )
     finally:
@@ -376,20 +456,26 @@ async def run_cell(
     for worker, (link, outcome) in enumerate(
         zip(assignment, outcomes)
     ):
-        row: Dict[str, Any] = {"worker": worker, "link": link}
+        row: Dict[str, Any] = {
+            "worker": worker,
+            "link": "striped" if link is None else link,
+        }
         if isinstance(outcome, ServerBusyError):
             busy += 1
-            link_counts[link]["busy_rejected"] += 1
+            if link is not None:
+                link_counts[link]["busy_rejected"] += 1
             row["status"] = "busy"
         elif isinstance(outcome, BaseException):
             errors.append(f"{type(outcome).__name__}: {outcome}")
-            link_counts[link]["failed"] += 1
+            if link is not None:
+                link_counts[link]["failed"] += 1
             row["status"] = "error"
         else:
             latencies.append(outcome)
             histogram.observe(outcome)
-            link_samples[link].append(outcome * 1e3)
-            link_counts[link]["completed"] += 1
+            if link is not None:
+                link_samples[link].append(outcome * 1e3)
+                link_counts[link]["completed"] += 1
             row["status"] = "ok"
             row["latency_ms"] = round(outcome * 1e3, 3)
         per_worker.append(row)
@@ -401,7 +487,11 @@ async def run_cell(
             {
                 "link": link,
                 "bandwidth": bandwidths[link],
-                "workers": assignment.count(link),
+                "workers": (
+                    cell.clients
+                    if cell.striped
+                    else assignment.count(link)
+                ),
                 **link_counts[link],
                 "latency_ms": {
                     "p50": round(percentile(samples, 50.0), 3),
@@ -427,7 +517,7 @@ async def run_cell(
         bandwidth=cell.bandwidth,
         policy=cell.policy,
         strategy=cell.strategy,
-        faulted=cell.fault_plan is not None,
+        faulted=cell.faulted,
         completed=len(latencies),
         failed=len(errors),
         busy_rejected=busy,

@@ -30,7 +30,6 @@ as clean ones.
 from __future__ import annotations
 
 import asyncio
-import random
 import time
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -43,6 +42,7 @@ from ..errors import (
     StreamDecodeError,
     TransferError,
 )
+from ..faults.rng import derive_rng
 from ..transfer import UnitKind
 from .client import NonStrictFetcher
 from .protocol import (
@@ -82,6 +82,12 @@ class ResilientFetcher(NonStrictFetcher):
             :class:`~repro.errors.TransferError` from every waiter.
         seed: Seeds the jitter RNG, so a fixed seed replays the same
             backoff schedule.
+        rng_scope: Scope component folded into the jitter RNG's
+            derived seed (see :func:`repro.faults.derive_rng`).
+            Concurrent fetchers — loadgen workers, the links of a
+            striped session — must each pass a distinct scope so their
+            backoff jitter stays uncorrelated (no thundering herd) and
+            each scope's replay is independent of the others' draws.
 
     All other arguments match :class:`.client.NonStrictFetcher`.
     """
@@ -101,6 +107,7 @@ class ResilientFetcher(NonStrictFetcher):
         backoff_jitter: float = 0.25,
         deadline: Optional[float] = None,
         seed: int = 0,
+        rng_scope: str = "",
         recorder=None,
     ) -> None:
         super().__init__(
@@ -123,7 +130,8 @@ class ResilientFetcher(NonStrictFetcher):
         self.backoff_jitter = backoff_jitter
         self.deadline = deadline
         self.seed = seed
-        self._rng = random.Random(seed)
+        self.rng_scope = rng_scope
+        self._rng = derive_rng(seed, "backoff", rng_scope)
         self._expected_keys: Set[UnitKey] = set()
         self._plan_order: Dict[UnitKey, int] = {}
         self._deadline_at: Optional[float] = None

@@ -23,6 +23,14 @@ Two behaviours mirror the paper's transfer fabric (§5.1/§5.2):
   the same front-of-queue rule :meth:`repro.transfer.StreamEngine`
   applies to demand-fetched streams.
 
+Striped sessions negotiate *pull mode* (``HELLO`` with ``pull:
+true``): the server answers with the full manifest but pushes nothing;
+every unit is requested explicitly through the demand path (a
+``DEMAND_FETCH`` with ``resend: true`` naming one wire key), so a
+multi-link client's issue engine — not the server — decides which unit
+travels on which connection and when.  A pull session has no ``EOF``;
+the client closes the connection once its scoreboard drains.
+
 Fleet-scale controls:
 
 * **Admission control** — with ``max_connections`` set, a connection
@@ -422,7 +430,7 @@ class ClassFileServer:
         demand_error: Optional[BaseException] = None
         try:
             try:
-                sequence, artifact = await self._negotiate(
+                sequence, artifact, pull = await self._negotiate(
                     reader, writer, conn
                 )
             except ConnectionLostError:
@@ -433,13 +441,31 @@ class ClassFileServer:
                 await writer.drain()
                 conn.aborted = True
                 return
-            pending: Deque[TransferUnit] = deque(sequence)
+            pending: Deque[TransferUnit] = deque(
+                () if pull else sequence
+            )
+            wake = asyncio.Event()
+            reader_done = asyncio.Event()
             demand_task = asyncio.create_task(
                 self._demand_loop(
-                    reader, pending, artifact.sequence, conn
+                    reader,
+                    pending,
+                    artifact.sequence,
+                    conn,
+                    wake=wake,
+                    reader_done=reader_done,
                 )
             )
-            await self._send_units(writer, pending, artifact, conn, faults)
+            await self._send_units(
+                writer,
+                pending,
+                artifact,
+                conn,
+                faults,
+                pull=pull,
+                wake=wake,
+                reader_done=reader_done,
+            )
         except (ConnectionLostError, ConnectionError, OSError):
             conn.aborted = True
         except asyncio.CancelledError:
@@ -478,14 +504,19 @@ class ClassFileServer:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         conn: ConnectionStats,
-    ) -> Tuple[List[TransferUnit], SessionArtifact]:
-        """Negotiate a session; returns (units to send, artifact).
+    ) -> Tuple[List[TransferUnit], SessionArtifact, bool]:
+        """Negotiate a session; returns (units to send, artifact, pull).
 
         Accepts a fresh ``HELLO`` or a ``RESUME`` carrying the unit
         wire keys the client already holds; a resume replays the same
         cached session plan minus the held units, so a reconnecting
         client pays only for what it lost — and the server pays one
         cache lookup, not a re-plan.
+
+        A ``pull: true`` field in either greeting puts the session in
+        pull mode: the ack still carries the full (resume-filtered)
+        manifest, but nothing is queued for push — the client drives
+        every unit through ``DEMAND_FETCH``/``resend``.
         """
         hello = await read_frame(reader)
         if hello.kind not in (FrameKind.HELLO, FrameKind.RESUME):
@@ -500,6 +531,7 @@ class ClassFileServer:
                 f"unknown policy {fields.get('policy')!r}"
             ) from exc
         strategy = fields.get("strategy", "static")
+        pull = bool(fields.get("pull"))
         artifact = self._plan_session(policy, strategy)
         full_sequence = list(artifact.sequence)
         sequence = full_sequence
@@ -532,6 +564,9 @@ class ClassFileServer:
             ),
             sequence=manifest,
         )
+        if pull:
+            ack_fields["pull"] = True
+            conn.record_pull_session()
         if resumed:
             ack = resume_ack_frame(
                 skipped=len(full_sequence) - len(sequence),
@@ -541,7 +576,7 @@ class ClassFileServer:
             ack = hello_ack_frame(**ack_fields)
         writer.write(encode_frame(ack))
         await writer.drain()
-        return sequence, artifact
+        return sequence, artifact, pull
 
     @staticmethod
     def _have_keys(raw: object) -> set:
@@ -574,24 +609,45 @@ class ClassFileServer:
         artifact: SessionArtifact,
         conn: ConnectionStats,
         faults: Optional[ConnectionFaults] = None,
+        pull: bool = False,
+        wake: Optional[asyncio.Event] = None,
+        reader_done: Optional[asyncio.Event] = None,
     ) -> None:
+        """Drain ``pending`` to the wire, pacing through the buckets.
+
+        Push sessions send the negotiated sequence then ``EOF``.  Pull
+        sessions start with an empty deque and sleep on ``wake`` until
+        the demand loop promotes units into it; they end — without an
+        ``EOF`` — when ``reader_done`` is set (client closed its side)
+        and nothing is left to send.
+        """
         conn_bucket = (
             TokenBucket(self.per_connection_bandwidth, burst=self.burst)
             if self.per_connection_bandwidth is not None
             else None
         )
-        while pending:
-            unit = pending.popleft()
-            data = artifact.frames[unit]
-            if conn_bucket is not None:
-                await conn_bucket.consume(len(data))
-            if self._bucket is not None:
-                await self._bucket.consume(len(data))
-            alive = await self._transmit(
-                writer, data, conn, faults, kind="UNIT", unit=unit
-            )
-            if not alive:
-                return
+        while True:
+            while pending:
+                unit = pending.popleft()
+                data = artifact.frames[unit]
+                if conn_bucket is not None:
+                    await conn_bucket.consume(len(data))
+                if self._bucket is not None:
+                    await self._bucket.consume(len(data))
+                alive = await self._transmit(
+                    writer, data, conn, faults, kind="UNIT", unit=unit
+                )
+                if not alive:
+                    return
+            if not pull:
+                break
+            assert wake is not None and reader_done is not None
+            if reader_done.is_set():
+                return  # pull sessions end silently: no EOF
+            # No await between the drain above and this clear, so a
+            # promotion cannot slip through unnoticed.
+            wake.clear()
+            await wake.wait()
         eof = encode_frame(eof_frame())
         if not await self._transmit(
             writer, eof, conn, faults, kind="EOF"
@@ -678,18 +734,42 @@ class ClassFileServer:
         pending: Deque[TransferUnit],
         full_sequence: Tuple[TransferUnit, ...],
         conn: ConnectionStats,
+        wake: Optional[asyncio.Event] = None,
+        reader_done: Optional[asyncio.Event] = None,
     ) -> None:
         """Serve DEMAND_FETCH frames by promoting pending units.
 
         A plain demand promotes the demanded class's still-pending
         units to the front.  A ``resend`` demand (a client recovering a
-        damaged frame) additionally re-enqueues already-sent units from
-        the session plan that match the given class / method / kind.
+        damaged frame, or a pull session naming its next unit)
+        additionally re-enqueues already-sent units from the session
+        plan that match the given class / method / kind.
 
         Runs concurrently with the sender; the deque rearrangement is
         synchronous (no await between read and write of ``pending``),
-        so the single-threaded event loop makes it atomic.
+        so the single-threaded event loop makes it atomic.  After a
+        promotion the sender is nudged through ``wake``; when the
+        client's read side closes, ``reader_done`` (then ``wake``) is
+        set so a pull sender can finish.
         """
+        try:
+            await self._demand_requests(
+                reader, pending, full_sequence, conn, wake
+            )
+        finally:
+            if reader_done is not None:
+                reader_done.set()
+            if wake is not None:
+                wake.set()
+
+    async def _demand_requests(
+        self,
+        reader: asyncio.StreamReader,
+        pending: Deque[TransferUnit],
+        full_sequence: Tuple[TransferUnit, ...],
+        conn: ConnectionStats,
+        wake: Optional[asyncio.Event],
+    ) -> None:
         while True:
             try:
                 frame = await read_frame(reader)
@@ -742,6 +822,8 @@ class ClassFileServer:
             pending.clear()
             pending.extend(promoted)
             pending.extend(remaining)
+            if wake is not None:
+                wake.set()
             if self.recorder is not None:
                 self.recorder.schedule_decision(
                     self._now(),

@@ -82,6 +82,10 @@ class ConnectionStats:
                 skipped_units
             )
 
+    def record_pull_session(self) -> None:
+        """Account a session negotiated in pull mode (striped link)."""
+        self._counter("netserve_pull_sessions").inc()
+
     # -- legacy read interface --------------------------------------------
 
     @property
@@ -107,6 +111,10 @@ class ConnectionStats:
     @property
     def resumes(self) -> int:
         return int(self._counter("netserve_resumes").value)
+
+    @property
+    def pull_sessions(self) -> int:
+        return int(self._counter("netserve_pull_sessions").value)
 
     @property
     def duration(self) -> Optional[float]:
@@ -236,6 +244,49 @@ class FetchStats:
         """Account one BUSY rejection retried with backoff."""
         self._counter("netserve_busy_retries_total").inc()
 
+    # -- striped (multi-link) recording ------------------------------------
+
+    def _link_counter(self, name: str, link: object):
+        return self.metrics.counter(
+            name, {**self._labels, "link": str(link)}
+        )
+
+    def record_link_unit(self, link: object, payload_bytes: int) -> None:
+        """Account one unit landed on a specific link."""
+        self._link_counter("netserve_link_units_total", link).inc()
+        self._link_counter("netserve_link_bytes_total", link).inc(
+            payload_bytes
+        )
+
+    def record_link_outage(self, link: object) -> None:
+        """Account one link declared dead (circuit opened)."""
+        self._link_counter("netserve_link_outages_total", link).inc()
+
+    def record_link_reconnect(self, link: object) -> None:
+        """Account one reconnect attempt on a specific link."""
+        self._link_counter("netserve_link_reconnects_total", link).inc()
+
+    def set_link_state(self, link: object, state: int) -> None:
+        """Publish a link's health as a gauge (see ``LinkState``)."""
+        self.metrics.gauge(
+            "netserve_link_state", {**self._labels, "link": str(link)}
+        ).set(state)
+
+    def record_hedge(self) -> None:
+        """Account one hedge fired (second issue of a demanded class)."""
+        self._counter("netserve_hedges_total").inc()
+
+    def record_hedge_win(self, role: str) -> None:
+        """Account the winner of a hedge race, labeled by role."""
+        self.metrics.counter(
+            "netserve_hedge_wins_total", {**self._labels, "role": role}
+        ).inc()
+
+    def record_cancelled_tasks(self, count: int) -> None:
+        """Account background tasks cancelled at teardown."""
+        if count:
+            self._counter("netserve_cancelled_tasks_total").inc(count)
+
     def record_stall(self, method: MethodId, seconds: float) -> None:
         self.stall_seconds[method] = (
             self.stall_seconds.get(method, 0.0) + seconds
@@ -286,6 +337,42 @@ class FetchStats:
     @property
     def busy_retries(self) -> int:
         return int(self._counter("netserve_busy_retries_total").value)
+
+    @property
+    def link_outages(self) -> int:
+        return int(
+            self.metrics.counter_total("netserve_link_outages_total")
+        )
+
+    @property
+    def link_reconnects(self) -> int:
+        return int(
+            self.metrics.counter_total(
+                "netserve_link_reconnects_total"
+            )
+        )
+
+    @property
+    def hedges(self) -> int:
+        return int(self._counter("netserve_hedges_total").value)
+
+    @property
+    def hedge_wins(self) -> int:
+        return int(
+            self.metrics.counter_total("netserve_hedge_wins_total")
+        )
+
+    @property
+    def cancelled_tasks(self) -> int:
+        return int(
+            self._counter("netserve_cancelled_tasks_total").value
+        )
+
+    def link_units(self, link: object) -> int:
+        """Units landed on one link (0 for a link that never landed)."""
+        return int(
+            self._link_counter("netserve_link_units_total", link).value
+        )
 
     @property
     def stall_histogram(self) -> Histogram:

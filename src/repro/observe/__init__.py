@@ -35,6 +35,10 @@ _EXPORTS: Dict[str, str] = {
     "UNIT_ISSUED": "events",
     "LINK_BUSY": "events",
     "STRIPE_REBALANCE": "events",
+    "LINK_OUTAGE": "events",
+    "LINK_RESTORED": "events",
+    "HEDGE_FIRED": "events",
+    "HEDGE_WON": "events",
     "METHOD_FIRST_INVOKE": "events",
     "SCHEDULE_DECISION": "events",
     "STALL_BEGIN": "events",

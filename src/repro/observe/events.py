@@ -33,7 +33,15 @@ Taxonomy (the paper's per-method timeline, Tables 4–7, as events):
 * ``cache_lookup`` — the server resolved a negotiated configuration
   against its shared artifact cache (hit or miss);
 * ``connection_rejected`` — admission control turned a connection
-  away (e.g. the server was at ``max_connections``).
+  away (e.g. the server was at ``max_connections``);
+* ``link_outage`` — a striped fetch declared one link dead (circuit
+  opened) and requeued its in-flight units onto the survivors;
+* ``link_restored`` — a half-open probe succeeded and the link
+  rejoined the striped session;
+* ``hedge_fired`` — a demand fetch raced a second copy of the needed
+  unit on another link (the hedge request went on the wire);
+* ``hedge_won`` — a hedged unit arrived; names the winning link and
+  whether the primary or the hedge delivered first.
 """
 
 from __future__ import annotations
@@ -62,6 +70,10 @@ __all__ = [
     "UNIT_ISSUED",
     "LINK_BUSY",
     "STRIPE_REBALANCE",
+    "LINK_OUTAGE",
+    "LINK_RESTORED",
+    "HEDGE_FIRED",
+    "HEDGE_WON",
     "validate_event",
 ]
 
@@ -82,6 +94,10 @@ CONNECTION_REJECTED = "connection_rejected"
 UNIT_ISSUED = "unit_issued"
 LINK_BUSY = "link_busy"
 STRIPE_REBALANCE = "stripe_rebalance"
+LINK_OUTAGE = "link_outage"
+LINK_RESTORED = "link_restored"
+HEDGE_FIRED = "hedge_fired"
+HEDGE_WON = "hedge_won"
 
 #: Required ``args`` keys per event name.  Emitters may add extra keys
 #: (they survive every exporter round-trip), but these must be present.
@@ -103,6 +119,10 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     UNIT_ISSUED: ("class_name", "link"),
     LINK_BUSY: ("link",),
     STRIPE_REBALANCE: ("reason",),
+    LINK_OUTAGE: ("link", "reason"),
+    LINK_RESTORED: ("link",),
+    HEDGE_FIRED: ("class_name", "link"),
+    HEDGE_WON: ("class_name", "link", "role"),
 }
 
 #: Display lane per event name (Chrome trace "thread", ASCII timeline
@@ -125,6 +145,10 @@ EVENT_CATEGORIES: Dict[str, str] = {
     UNIT_ISSUED: "schedule",
     LINK_BUSY: "transfer",
     STRIPE_REBALANCE: "schedule",
+    LINK_OUTAGE: "fault",
+    LINK_RESTORED: "schedule",
+    HEDGE_FIRED: "schedule",
+    HEDGE_WON: "schedule",
 }
 
 

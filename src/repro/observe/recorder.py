@@ -25,7 +25,11 @@ from .events import (
     DEMAND_FETCH,
     FAULT_INJECTED,
     FRAME_SENT,
+    HEDGE_FIRED,
+    HEDGE_WON,
     LINK_BUSY,
+    LINK_OUTAGE,
+    LINK_RESTORED,
     METHOD_FIRST_INVOKE,
     RECONNECT,
     SCHEDULE_DECISION,
@@ -242,3 +246,45 @@ class TraceRecorder:
         if not self.enabled:
             return
         self.emit(STRIPE_REBALANCE, ts, reason=reason, **extra)
+
+    def link_outage(
+        self, ts: float, link: str, reason: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(LINK_OUTAGE, ts, link=link, reason=reason, **extra)
+
+    def link_restored(self, ts: float, link: str, **extra: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(LINK_RESTORED, ts, link=link, **extra)
+
+    def hedge_fired(
+        self, ts: float, class_name: str, link: str, **extra: Any
+    ) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            HEDGE_FIRED, ts, class_name=class_name, link=link, **extra
+        )
+
+    def hedge_won(
+        self,
+        ts: float,
+        class_name: str,
+        link: str,
+        role: str,
+        **extra: Any,
+    ) -> None:
+        """A hedged unit arrived; ``role`` is ``"primary"`` or
+        ``"hedge"`` depending on which request delivered first."""
+        if not self.enabled:
+            return
+        self.emit(
+            HEDGE_WON,
+            ts,
+            class_name=class_name,
+            link=link,
+            role=role,
+            **extra,
+        )

@@ -37,7 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .classfile import class_layout
 from .core import run_nonstrict, run_strict, strict_baseline
@@ -438,12 +438,36 @@ def _cmd_serve(arguments) -> int:
     return 0
 
 
+def _parse_endpoints(raw: str) -> List[Tuple[str, int]]:
+    """Parse ``host:port,host:port`` into endpoint tuples."""
+    endpoints: List[Tuple[str, int]] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        host, separator, port = token.rpartition(":")
+        if not separator or not host:
+            raise ReproError(
+                f"--links expects host:port entries: {token!r}"
+            )
+        try:
+            endpoints.append((host, int(port)))
+        except ValueError:
+            raise ReproError(
+                f"--links has a non-integer port: {token!r}"
+            ) from None
+    if not endpoints:
+        raise ReproError("--links is empty")
+    return endpoints
+
+
 def _cmd_fetch(arguments) -> int:
     import asyncio
 
     from .netserve import (
         NonStrictFetcher,
         ResilientFetcher,
+        StripedResilientFetcher,
         format_fetch_stats,
         run_networked,
     )
@@ -455,10 +479,29 @@ def _cmd_fetch(arguments) -> int:
         arguments.max_reconnects is not None
         or arguments.deadline is not None
     )
+    extra_links = (
+        _parse_endpoints(arguments.links) if arguments.links else []
+    )
 
     async def run_fetch() -> None:
-        if resilient:
-            fetcher: NonStrictFetcher = ResilientFetcher(
+        if extra_links:
+            fetcher: NonStrictFetcher = StripedResilientFetcher(
+                [(arguments.host, arguments.port), *extra_links],
+                policy=arguments.policy,
+                strategy=arguments.strategy,
+                demand_timeout=arguments.timeout,
+                connect_timeout=arguments.connect_timeout,
+                max_reconnects=(
+                    arguments.max_reconnects
+                    if arguments.max_reconnects is not None
+                    else 4
+                ),
+                deadline=arguments.deadline,
+                hedge_delay=arguments.hedge_delay,
+                stall_timeout=arguments.stall_timeout,
+            )
+        elif resilient:
+            fetcher = ResilientFetcher(
                 arguments.host,
                 arguments.port,
                 policy=arguments.policy,
@@ -534,6 +577,7 @@ def _parse_float_list(raw: str, option: str) -> List[Optional[float]]:
 
 def _cmd_loadtest(arguments) -> int:
     import asyncio
+    import dataclasses
     import json
 
     from .faults import FaultPlan
@@ -585,6 +629,38 @@ def _cmd_loadtest(arguments) -> int:
                 f"error: --faults is not JSON: {error}", file=sys.stderr
             )
             return 2
+    link_sets: List[Optional[Tuple[Optional[float], ...]]] = [None]
+    if arguments.links:
+        link_sets = [
+            tuple(_parse_float_list(arguments.links, "--links"))
+        ]
+    elif arguments.striped or arguments.link_faults:
+        print(
+            "error: --striped/--link-faults need --links",
+            file=sys.stderr,
+        )
+        return 2
+    link_fault_plans: Optional[Tuple[Optional[FaultPlan], ...]] = None
+    if arguments.link_faults:
+        try:
+            raw_plans = json.loads(arguments.link_faults)
+        except json.JSONDecodeError as error:
+            print(
+                f"error: --link-faults is not JSON: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        if not isinstance(raw_plans, list):
+            print(
+                "error: --link-faults expects a JSON list "
+                "(null = clean link)",
+                file=sys.stderr,
+            )
+            return 2
+        link_fault_plans = tuple(
+            None if plan is None else FaultPlan.from_dict(plan)
+            for plan in raw_plans
+        )
 
     cells = sweep_cells(
         clients,
@@ -592,7 +668,18 @@ def _cmd_loadtest(arguments) -> int:
         policy=arguments.policy,
         strategy=arguments.strategy,
         fault_plans=fault_plans,
+        link_sets=link_sets,
+        striped=arguments.striped,
     )
+    if link_fault_plans is not None:
+        cells = [
+            dataclasses.replace(
+                cell, link_fault_plans=link_fault_plans
+            )
+            if cell.links is not None
+            else cell
+            for cell in cells
+        ]
     report = asyncio.run(
         run_sweep(
             program,
@@ -882,6 +969,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="overall fetch deadline in seconds (implies the "
         "resilient fetcher)",
     )
+    fetch.add_argument(
+        "--links",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="extra endpoints to stripe the fetch across (the "
+        "positional host/port is link 0); selects the striped "
+        "resilient fetcher",
+    )
+    fetch.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=0.25,
+        help="seconds a striped demand fetch waits before hedging "
+        "onto a second link",
+    )
+    fetch.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=5.0,
+        help="seconds without a frame before a striped link is "
+        "declared stalled and recycled",
+    )
     fetch.set_defaults(handler=_cmd_fetch)
 
     loadtest = commands.add_parser(
@@ -928,6 +1037,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="JSON",
         help="fault-injection plan as JSON; adds a faulted cell per "
         "clients × bandwidth combination",
+    )
+    loadtest.add_argument(
+        "--links",
+        default=None,
+        metavar="BW,BW,...",
+        help="per-link bandwidths ('none' = unpaced); one server "
+        "endpoint per link, workers striped round-robin",
+    )
+    loadtest.add_argument(
+        "--striped",
+        action="store_true",
+        help="with --links, every worker is a striped resilient "
+        "fetcher over all endpoints at once",
+    )
+    loadtest.add_argument(
+        "--link-faults",
+        default=None,
+        metavar="JSON",
+        help="JSON list of per-link fault plans (null = clean link); "
+        "length must match --links",
     )
     loadtest.add_argument(
         "--max-connections",

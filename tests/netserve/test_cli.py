@@ -147,3 +147,74 @@ def test_loadtest_rejects_malformed_lists(stored, capsys):
     assert (
         main(["loadtest", directory, "--bandwidth", "fast"]) == 2
     )
+
+
+def test_loadtest_striped_cell_with_link_faults(stored, tmp_path, capsys):
+    import json
+
+    directory, _ = stored
+    out = tmp_path / "BENCH_serve.json"
+    code = main(
+        [
+            "loadtest",
+            directory,
+            "--clients",
+            "2",
+            "--links",
+            "none,30000",
+            "--striped",
+            "--link-faults",
+            '[null, {"seed": 5, "cut_after_frames": [2, 2]}]',
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    data = json.loads(out.read_text())
+    cell = data["cells"][0]
+    assert cell["faulted"] is True
+    assert cell["completed"] == 2
+    assert cell["latency_ms"]["p99"] > 0
+    printed = capsys.readouterr().out
+    assert "striped2[unpaced+30000]" in printed
+
+
+def test_loadtest_striped_needs_links(stored, capsys):
+    directory, _ = stored
+    assert main(["loadtest", directory, "--striped"]) == 2
+    assert "--links" in capsys.readouterr().err
+
+
+def test_fetch_links_stripes_across_endpoints(stored, tmp_path, capsys):
+    directory, _ = stored
+    results_a, results_b = [], []
+    port_a = str(tmp_path / "port_a")
+    port_b = str(tmp_path / "port_b")
+    thread_a = threading.Thread(
+        target=_serve_once, args=(directory, port_a, results_a)
+    )
+    thread_b = threading.Thread(
+        target=_serve_once, args=(directory, port_b, results_b)
+    )
+    thread_a.start()
+    thread_b.start()
+    try:
+        first = _wait_for_port(port_a, thread_a)
+        second = _wait_for_port(port_b, thread_b)
+        code = main(
+            [
+                "fetch",
+                "127.0.0.1",
+                str(first),
+                "--links",
+                f"127.0.0.1:{second}",
+                "--hedge-delay",
+                "0.05",
+            ]
+        )
+    finally:
+        thread_a.join(timeout=20)
+        thread_b.join(timeout=20)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "units received:" in out

@@ -234,7 +234,9 @@ def test_demand_loop_failure_is_surfaced_not_swallowed():
             figure1_program(), bandwidth=20000, burst=64
         )
 
-        async def broken_demand_loop(reader, pending, sequence, conn):
+        async def broken_demand_loop(
+            reader, pending, sequence, conn, **kwargs
+        ):
             raise RuntimeError("demand loop blew up")
 
         server._demand_loop = broken_demand_loop

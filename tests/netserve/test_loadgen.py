@@ -217,3 +217,64 @@ def test_sweep_cells_link_sets_extend_run_table():
     assert cells[0].links is None
     assert cells[1].links == (8000.0, 4000.0)
     assert "links2[8000+4000]" in cells[1].label
+
+# -- striped cells -----------------------------------------------------
+
+
+def test_load_cell_validates_striped_configuration():
+    with pytest.raises(ValueError):
+        LoadCell(clients=2, striped=True)  # striped needs links
+    with pytest.raises(ValueError):
+        LoadCell(
+            clients=2,
+            links=(None, None),
+            link_fault_plans=(None,),  # must match links one-to-one
+        )
+    cell = LoadCell(
+        clients=2,
+        links=(None, None),
+        striped=True,
+        link_fault_plans=(None, FaultPlan(seed=1, drop_frames=(2,))),
+    )
+    assert cell.faulted
+    assert cell.plan_for_link(0) is None
+    assert cell.plan_for_link(1) is not None
+    assert "striped2" in cell.label
+    assert cell.label.endswith("-faults")
+
+
+def test_striped_cell_with_mid_run_link_outage(tmp_path):
+    """The acceptance cell: two links, one of which keeps cutting out
+    mid-transfer, still completes every worker and lands a measured
+    p99 first-invocation latency in BENCH_serve.json."""
+    cell = LoadCell(
+        clients=4,
+        links=(None, 30_000.0),
+        striped=True,
+        link_fault_plans=(
+            None,
+            FaultPlan(seed=23, cut_after_frames=(2, 2)),
+        ),
+    )
+    report = run(run_sweep(figure1_program(), [cell]))
+    result = report.cells[0]
+    assert result.completed == 4
+    assert result.failed == 0
+    assert result.faulted
+    assert result.p99_ms > 0
+    assert result.p50_ms <= result.p99_ms
+    # Striped workers attribute to the whole stripe, not one link.
+    assert [row["link"] for row in result.per_worker] == [
+        "striped"
+    ] * 4
+    assert all(row["status"] == "ok" for row in result.per_worker)
+    # Both endpoints actually served bytes.
+    assert all(
+        row["bytes_sent"] > 0 for row in result.per_link
+    )
+    target = write_bench_json(report, tmp_path / "BENCH_serve.json")
+    data = json.loads(target.read_text())
+    row = data["cells"][0]
+    assert row["faulted"] is True
+    assert row["latency_ms"]["p99"] > 0
+    assert row["per_worker"][0]["link"] == "striped"

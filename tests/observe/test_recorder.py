@@ -32,6 +32,10 @@ def fully_populated_recorder():
     recorder.unit_issued(40.0, class_name="B", link="0:t1", bytes=64)
     recorder.link_busy(40.0, link="0:t1", duration=3.0, label="B")
     recorder.stripe_rebalance(43.0, reason="link_outage", requeued=2)
+    recorder.link_outage(44.0, link="1", reason="3 failures", requeued=2)
+    recorder.link_restored(45.0, link="1", probes=2)
+    recorder.hedge_fired(46.0, class_name="B", link="0", method="run")
+    recorder.hedge_won(46.5, class_name="B", link="0", role="hedge")
     return recorder
 
 
