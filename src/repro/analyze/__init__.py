@@ -37,6 +37,16 @@ _EXPORTS: Dict[str, str] = {
     # workmodel
     "FirstUseLowerBounds": "workmodel",
     "first_use_lower_bounds": "workmodel",
+    # interproc
+    "BranchModel": "interproc",
+    "InterprocAnalysis": "interproc",
+    "MethodSummary": "interproc",
+    "PruneResult": "interproc",
+    "ResolvedCallSite": "interproc",
+    "analyze_interproc": "interproc",
+    "branch_probabilities": "interproc",
+    "block_frequencies": "interproc",
+    "prune_dead_methods": "interproc",
     # transferplan
     "DeadlockFinding": "transferplan",
     "MethodVerdict": "transferplan",

@@ -25,6 +25,17 @@ Built-in rules:
 ``proven-stall`` (note)
     A non-entry method whose transfer unit provably arrives after its
     first use: the restructuring misses the paper's overlap goal here.
+``dead-method-shipped`` (warning)
+    The interprocedural RTA pass (:mod:`repro.analyze.interproc`)
+    proves the method unreachable, yet the transfer order ships its
+    bytes ahead of live methods — every later first use pays for them.
+``guaranteed-mispredict-order`` (warning)
+    The transfer order places a method before one of its call-graph
+    dominators; every call chain reaching it runs the dominator first,
+    so this relative order is inverted for *every* input.
+``unreachable-call-target`` (error)
+    A feasible call site names a method its internal callee class does
+    not define — a torn reference that faults under strict linking.
 
 Analyzer cost and finding counts are published through an optional
 :class:`repro.observe.MetricsRegistry` (``analyze_runtime_seconds``,
@@ -46,6 +57,7 @@ from ..reorder import FirstUseOrder, estimate_first_use
 from ..transfer import NetworkLink
 from ..vm import ExecutionTrace
 from .dataflow import MethodDataflow, analyze_method
+from .interproc import InterprocAnalysis, analyze_interproc
 from .transferplan import (
     StallVerdict,
     TransferPlanReport,
@@ -120,6 +132,7 @@ class LintContext:
     dataflows: Dict[MethodId, MethodDataflow]
     reports: Dict[str, TransferPlanReport]
     trace: Optional[ExecutionTrace] = None
+    interproc: Optional[InterprocAnalysis] = None
 
 
 class LintRule:
@@ -301,6 +314,113 @@ class ProvenStallRule(LintRule):
                 )
 
 
+@register_rule
+class DeadMethodShippedRule(LintRule):
+    rule_id = "dead-method-shipped"
+    severity = Severity.WARNING
+    description = (
+        "Proven unreachable by the interprocedural RTA pass, yet the "
+        "transfer order ships its bytes ahead of live methods, "
+        "delaying every later first use; prune it or move it to the "
+        "transfer tail."
+    )
+
+    def run(self, context: LintContext) -> Iterable[Finding]:
+        analysis = context.interproc
+        if analysis is None or not analysis.dead:
+            return
+        dead = set(analysis.dead)
+        positions: Dict[MethodId, int] = {}
+        last_live = -1
+        for position, entry in enumerate(context.order.entries):
+            positions[entry.method] = position
+            if entry.method not in dead:
+                last_live = position
+        for method_id in analysis.dead:
+            position = positions.get(method_id)
+            if position is None or position > last_live:
+                continue  # already behind every live method: harmless
+            size = context.program.method(method_id).size
+            yield self.finding(
+                f"proven unreachable (RTA + dataflow feasibility) but "
+                f"shipped at position {position}, ahead of live "
+                f"methods; its {size}B delay every later first use",
+                Span(
+                    class_name=method_id.class_name,
+                    method_name=method_id.method_name,
+                ),
+            )
+
+
+@register_rule
+class GuaranteedMispredictOrderRule(LintRule):
+    rule_id = "guaranteed-mispredict-order"
+    severity = Severity.WARNING
+    description = (
+        "The transfer order places a method before one of its "
+        "call-graph dominators; every call chain reaching the method "
+        "runs the dominator first, so the predicted relative order is "
+        "wrong for every input."
+    )
+
+    def run(self, context: LintContext) -> Iterable[Finding]:
+        analysis = context.interproc
+        if analysis is None:
+            return
+        positions = {
+            entry.method: position
+            for position, entry in enumerate(context.order.entries)
+        }
+        for method_id, position in positions.items():
+            dominator = analysis.immediate_dominators.get(method_id)
+            while dominator is not None:
+                dominator_position = positions.get(dominator)
+                if (
+                    dominator_position is not None
+                    and dominator_position > position
+                ):
+                    yield self.finding(
+                        f"placed at position {position}, before its "
+                        f"call-graph dominator "
+                        f"{dominator.class_name}.{dominator.method_name} "
+                        f"(position {dominator_position}); its first "
+                        f"use can never precede the dominator's",
+                        Span(
+                            class_name=method_id.class_name,
+                            method_name=method_id.method_name,
+                        ),
+                    )
+                    break  # one inversion per method is enough
+                dominator = analysis.immediate_dominators.get(dominator)
+
+
+@register_rule
+class UnreachableCallTargetRule(LintRule):
+    rule_id = "unreachable-call-target"
+    severity = Severity.ERROR
+    description = (
+        "A feasible call site names a method its internal callee "
+        "class does not define — a torn reference that faults under "
+        "strict linking the first time the site executes."
+    )
+
+    def run(self, context: LintContext) -> Iterable[Finding]:
+        analysis = context.interproc
+        if analysis is None:
+            return
+        for site in analysis.torn_sites:
+            yield self.finding(
+                f"call at instruction {site.instruction_index} targets "
+                f"a method that internal class {site.external_class} "
+                f"does not define; the site faults when it executes",
+                Span(
+                    class_name=site.caller.class_name,
+                    method_name=site.caller.method_name,
+                    instruction_index=site.instruction_index,
+                ),
+            )
+
+
 @dataclass
 class LintReport:
     """All findings from one lint run plus analyzer cost."""
@@ -391,6 +511,12 @@ def run_lint(
                 f"transfer-plan analysis skipped for {methodology}: {exc}"
             )
 
+    interproc: Optional[InterprocAnalysis] = None
+    try:
+        interproc = analyze_interproc(program)
+    except Exception as exc:  # advisory: rules degrade, lint proceeds
+        report.notes.append(f"interprocedural analysis skipped: {exc}")
+
     context = LintContext(
         program=program,
         order=order,
@@ -399,6 +525,7 @@ def run_lint(
         dataflows=dataflows,
         reports=reports,
         trace=trace,
+        interproc=interproc,
     )
     for rule in report.rules:
         report.findings.extend(rule.run(context))

@@ -24,6 +24,7 @@ from ..reorder import (
     estimate_first_use,
     order_from_profile,
     restructure,
+    weighted_first_use,
 )
 from ..transfer import MODEM_LINK, T1_LINK, NetworkLink, TransferPolicy
 from ..vm import synthesize_profile
@@ -68,25 +69,32 @@ class Bundle:
     scg: FirstUseOrder
     train: FirstUseOrder
     test: FirstUseOrder
+    weighted: FirstUseOrder
 
     @property
     def name(self) -> str:
         return self.workload.name
 
     def order(self, label: str) -> FirstUseOrder:
-        return {"SCG": self.scg, "Train": self.train, "Test": self.test}[
-            label
-        ]
+        return {
+            "SCG": self.scg,
+            "Train": self.train,
+            "Test": self.test,
+            "weighted": self.weighted,
+        }[label]
 
 
 @lru_cache(maxsize=None)
 def bundle(name: str) -> Bundle:
-    """Workload plus its three first-use orders, cached per process."""
+    """Workload plus its four first-use orders, cached per process."""
     workload = generate_workload(name)
     scg = estimate_first_use(workload.program)
+    train_profile = synthesize_profile(
+        workload.program, workload.train_trace
+    )
     train = order_from_profile(
         workload.program,
-        synthesize_profile(workload.program, workload.train_trace),
+        train_profile,
         static_order=scg,
     )
     test = order_from_profile(
@@ -94,7 +102,16 @@ def bundle(name: str) -> Bundle:
         synthesize_profile(workload.program, workload.test_trace),
         static_order=scg,
     )
-    return Bundle(workload=workload, scg=scg, train=train, test=test)
+    weighted = weighted_first_use(
+        workload.program, profile=train_profile, cpi=workload.cpi
+    )
+    return Bundle(
+        workload=workload,
+        scg=scg,
+        train=train,
+        test=test,
+        weighted=weighted,
+    )
 
 
 @lru_cache(maxsize=None)

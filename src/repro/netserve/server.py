@@ -59,6 +59,7 @@ from ..reorder import (
     order_from_profile,
     restructure,
     textual_first_use,
+    weighted_first_use,
 )
 from ..transfer import (
     TransferPolicy,
@@ -88,7 +89,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TokenBucket", "ClassFileServer", "REORDER_STRATEGIES"]
 
 #: Reorder strategies a client may request in its ``HELLO``.
-REORDER_STRATEGIES = ("static", "textual", "profile")
+REORDER_STRATEGIES = ("static", "textual", "profile", "weighted")
 
 
 class TokenBucket:
@@ -298,6 +299,9 @@ class ClassFileServer:
         if strategy == "profile":
             assert self.profile is not None  # resolved upstream
             return order_from_profile(self.program, self.profile)
+        if strategy == "weighted":
+            # Degrades to the pure-static layout without a profile.
+            return weighted_first_use(self.program, profile=self.profile)
         return estimate_first_use(self.program)
 
     def _build_artifact(

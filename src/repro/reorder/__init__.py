@@ -9,6 +9,7 @@ from .profile_estimator import (
 from .restructure import restructure
 from .splitting import split_large_methods, split_method
 from .static_estimator import StaticFirstUseEstimator, estimate_first_use
+from .weighted import weighted_first_use
 
 __all__ = [
     "FirstUseEntry",
@@ -22,4 +23,5 @@ __all__ = [
     "split_method",
     "StaticFirstUseEstimator",
     "estimate_first_use",
+    "weighted_first_use",
 ]

@@ -11,7 +11,11 @@ Subcommands (all operate on a program directory written by
 * ``lint DIR`` (or ``lint --workload NAME``) — run every static
   analysis rule (typed dataflow, transfer-plan stall/deadlock proofs,
   dead methods) and export findings as SARIF 2.1.0 / JSON; exits
-  nonzero when an error-severity finding is present;
+  nonzero when a finding at or above ``--fail-on`` is present;
+* ``interproc DIR`` (or ``interproc --workload NAME``) — summarize the
+  interprocedural weighted call-graph analysis: reachable vs dead
+  methods, devirtualized (monomorphic) call-site share, the
+  top-weighted call edges, and dead-method prune savings;
 * ``simulate DIR TRACE --link {t1,modem} --cpi N`` — co-simulate a
   stored trace against strict and non-strict transfer; with
   ``--links SPEC`` (comma-separated ``t1``/``modem``/bits-per-second
@@ -161,7 +165,7 @@ def _cmd_verify(arguments) -> int:
 def _cmd_lint(arguments) -> int:
     import json
 
-    from .analyze import run_lint, sarif_dumps, to_json
+    from .analyze import Severity, run_lint, sarif_dumps, to_json
     from .observe import MetricsRegistry
 
     if (arguments.directory is None) == (arguments.workload is None):
@@ -220,7 +224,103 @@ def _cmd_lint(arguments) -> int:
             json.dumps(to_json(report), indent=2, sort_keys=True)
         )
         print(f"json:     {arguments.json}")
-    return 1 if report.has_errors else 0
+    # --fail-on names the least severe level that still fails the run;
+    # "note" is SARIF's name for INFO-level findings.
+    failing = {
+        "error": (Severity.ERROR,),
+        "warning": (Severity.ERROR, Severity.WARNING),
+        "note": (Severity.ERROR, Severity.WARNING, Severity.INFO),
+    }[arguments.fail_on]
+    return (
+        1
+        if any(finding.severity in failing for finding in report.findings)
+        else 0
+    )
+
+
+def _cmd_interproc(arguments) -> int:
+    import json
+
+    from .analyze import analyze_interproc, prune_dead_methods
+
+    if (arguments.directory is None) == (arguments.workload is None):
+        print(
+            "error: give either a program directory or --workload NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if arguments.workload is not None:
+        from .workloads.spec import benchmark_spec
+        from .workloads.synthetic import paper_workload
+
+        program = paper_workload(
+            benchmark_spec(arguments.workload)
+        ).program
+    else:
+        program = load_program(arguments.directory)
+
+    analysis = analyze_interproc(program)
+    pruned = prune_dead_methods(program, analysis=analysis)
+    total = len(list(program.method_ids()))
+    feasible = [site for site in analysis.call_sites if site.feasible]
+    monomorphic = analysis.monomorphic_sites
+    share = 100.0 * len(monomorphic) / len(feasible) if feasible else 0.0
+    top_edges = sorted(
+        analysis.edge_weights.items(),
+        key=lambda item: (-item[1], str(item[0].caller), str(item[0].callee)),
+    )[: arguments.top]
+
+    payload = {
+        "entry": str(analysis.entry),
+        "methods": total,
+        "reachable": len(analysis.reachable),
+        "dead": len(analysis.dead),
+        "call_sites": len(analysis.call_sites),
+        "feasible_sites": len(feasible),
+        "monomorphic_sites": len(monomorphic),
+        "monomorphic_pct": round(share, 1),
+        "torn_sites": len(analysis.torn_sites),
+        "external_sites": len(analysis.external_sites),
+        "prune_bytes_saved": pruned.bytes_saved,
+        "pruned_methods": [str(m) for m in pruned.pruned],
+        "top_edges": [
+            {
+                "caller": str(edge.caller),
+                "callee": str(edge.callee),
+                "weight": round(weight, 3),
+            }
+            for edge, weight in top_edges
+        ],
+    }
+    if arguments.json:
+        Path(arguments.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        print(f"json:     {arguments.json}")
+        return 0
+    print(f"entry:             {payload['entry']}")
+    print(
+        f"reachable:         {payload['reachable']}/{total} methods "
+        f"({payload['dead']} dead)"
+    )
+    print(
+        f"call sites:        {payload['call_sites']} "
+        f"({payload['feasible_sites']} feasible, "
+        f"{payload['monomorphic_sites']} monomorphic = {share:.1f}%, "
+        f"{payload['torn_sites']} torn, "
+        f"{payload['external_sites']} external)"
+    )
+    print(
+        f"prune savings:     {pruned.bytes_saved} bytes across "
+        f"{len(pruned.pruned)} methods"
+    )
+    if top_edges:
+        print(f"top {len(top_edges)} weighted call edges:")
+        for edge, weight in top_edges:
+            print(
+                f"  {weight:12.1f}  {edge.caller} -> {edge.callee}"
+            )
+    return 0
 
 
 def _cmd_simulate(arguments) -> int:
@@ -778,7 +878,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="write findings as plain JSON here",
     )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note"),
+        default="error",
+        help="least severe finding level that exits nonzero "
+        "(default: error; 'note' = SARIF's name for info)",
+    )
     lint.set_defaults(handler=_cmd_lint)
+
+    interproc = commands.add_parser(
+        "interproc",
+        help="interprocedural summary: reachability, devirtualization, "
+        "weighted call edges, prune savings",
+    )
+    interproc.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="stored program directory (or use --workload)",
+    )
+    interproc.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="analyze a bundled synthetic workload (BIT, Hanoi, "
+        "JavaCup, Jess, JHLZip, TestDes)",
+    )
+    interproc.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many weighted call edges to show",
+    )
+    interproc.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the summary as JSON here instead of text",
+    )
+    interproc.set_defaults(handler=_cmd_interproc)
 
     simulate = commands.add_parser(
         "simulate", help="co-simulate a stored trace"
@@ -939,7 +1078,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     fetch.add_argument(
         "--strategy",
-        choices=("static", "textual", "profile"),
+        choices=("static", "textual", "profile", "weighted"),
         default="static",
     )
     fetch.add_argument("--cpi", type=float, default=100.0)
@@ -1028,7 +1167,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     loadtest.add_argument(
         "--strategy",
-        choices=("static", "textual", "profile"),
+        choices=("static", "textual", "profile", "weighted"),
         default="static",
     )
     loadtest.add_argument(

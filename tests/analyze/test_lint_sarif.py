@@ -28,6 +28,9 @@ EXPECTED_RULE_IDS = {
     "guaranteed-mispredict",
     "dead-method",
     "proven-stall",
+    "dead-method-shipped",
+    "guaranteed-mispredict-order",
+    "unreachable-call-target",
 }
 
 

@@ -97,6 +97,35 @@ def test_callees_deduplicated_in_order():
     assert len(graph.calls_from(MethodId("C", "main"))) == 3
 
 
+def test_duplicate_call_sites_keep_distinct_edges():
+    """Dedup applies to ``callees`` only: every call *site* keeps its
+    own edge with its own instruction index (the interprocedural
+    analysis keys per-site frequencies off them)."""
+    builder = ClassFileBuilder("C")
+    helper_ref = builder.method_ref("C", "helper", "()V")
+    code = CodeBuilder()
+    code.emit(Opcode.CALL, helper_ref)
+    code.emit(Opcode.ICONST, 1)
+    code.emit(Opcode.POP)
+    code.emit(Opcode.CALL, helper_ref)
+    code.emit(Opcode.RETURN)
+    builder.add_method("main", "()V", code.build())
+    builder.add_method("helper", "()V", [Instruction(Opcode.RETURN)])
+    program = Program(classes=[builder.build()])
+    graph = build_call_graph(program)
+    main = MethodId("C", "main")
+    assert graph.callees(main) == [MethodId("C", "helper")]
+    edges = graph.calls_from(main)
+    assert [edge.instruction_index for edge in edges] == [0, 3]
+    assert all(edge.callee == MethodId("C", "helper") for edge in edges)
+    # Both sites land in the method's code at a CALL instruction.
+    method = program.method(main)
+    for edge in edges:
+        assert method.instructions[edge.instruction_index].opcode is (
+            Opcode.CALL
+        )
+
+
 def test_reachable_from_unknown_method_raises():
     graph = build_call_graph(figure1_program())
     with pytest.raises(CFGError):

@@ -341,6 +341,22 @@ def test_strategy_negotiation_textual_vs_static():
 
     run(scenario())
 
+def test_weighted_strategy_negotiates_and_serves():
+    async def scenario():
+        server = await started_server()
+        host, port = server.address
+        fetcher = NonStrictFetcher(host, port, strategy="weighted")
+        manifest = await fetcher.connect()
+        # Unlike "profile", "weighted" needs no training profile: it
+        # degrades to its pure-static layout and keeps its name.
+        assert manifest["strategy"] == "weighted"
+        await fetcher.wait_until_complete()
+        await fetcher.aclose()
+        await server.aclose()
+
+    run(scenario())
+
+
 def test_profile_strategy_without_profile_falls_back_to_static():
     async def scenario():
         server = await started_server()

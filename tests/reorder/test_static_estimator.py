@@ -142,3 +142,90 @@ def test_validate_against_rejects_other_program():
     order = estimate_first_use(figure1_program())
     with pytest.raises(ReorderError):
         order.validate_against(mutual_recursion_program())
+
+
+# -- permutation invariance (property) ----------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_METHODS_PER_CLASS = 2
+
+
+def _build_call_program(num_classes, calls, class_order):
+    """One program from an adjacency map, declaring classes in
+    ``class_order``.  Method index 0 of class 0 is the entry."""
+    classes = []
+    for class_index in class_order:
+        builder = ClassFileBuilder(f"K{class_index}")
+        for method_index in range(_METHODS_PER_CLASS):
+            flat = class_index * _METHODS_PER_CLASS + method_index
+            lines = []
+            for callee in calls.get(flat, ()):
+                callee_class, callee_method = divmod(
+                    callee, _METHODS_PER_CLASS
+                )
+                callee_name = (
+                    "main" if callee == 0 else f"m{callee_method}"
+                )
+                ref = builder.method_ref(
+                    f"K{callee_class}", callee_name, "()V"
+                )
+                lines.append(f"call {ref}")
+            lines.append("return")
+            name = "main" if flat == 0 else f"m{method_index}"
+            builder.add_method(name, "()V", assemble("\n".join(lines)))
+        classes.append(builder.build())
+    return Program(
+        classes=classes, entry_point=MethodId("K0", "main")
+    )
+
+
+@st.composite
+def _call_structures(draw):
+    num_classes = draw(st.integers(min_value=2, max_value=4))
+    total = num_classes * _METHODS_PER_CLASS
+    calls = {}
+    for flat in range(total):
+        calls[flat] = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=total - 1),
+                max_size=3,
+            )
+        )
+    permutation = draw(st.permutations(list(range(num_classes))))
+    return num_classes, calls, permutation
+
+
+@settings(max_examples=30, deadline=None)
+@given(_call_structures())
+def test_scg_order_invariant_under_class_permutation(structure):
+    """The SCG prediction depends on the call structure, never on the
+    order classes happen to be declared in: the reachable prefix of
+    the order is identical under any permutation of the class list.
+    (The unreachable tail is appended in file order by design, so it
+    is excluded.)"""
+    num_classes, calls, permutation = structure
+    baseline = _build_call_program(
+        num_classes, calls, list(range(num_classes))
+    )
+    permuted = _build_call_program(num_classes, calls, permutation)
+
+    from repro.cfg import build_call_graph
+
+    reachable = set(
+        build_call_graph(baseline).reachable_from(
+            MethodId("K0", "main")
+        )
+    )
+    baseline_order = [
+        method
+        for method in estimate_first_use(baseline).order
+        if method in reachable
+    ]
+    permuted_order = [
+        method
+        for method in estimate_first_use(permuted).order
+        if method in reachable
+    ]
+    assert baseline_order == permuted_order

@@ -162,3 +162,73 @@ def test_simulate_rejects_bad_links_spec(stored, capsys):
 def test_errors_exit_2(tmp_path, capsys):
     assert main(["layout", str(tmp_path / "missing")]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def _dead_method_program(tmp_path):
+    from repro.bytecode import assemble
+    from repro.classfile import ClassFileBuilder
+    from repro.program import MethodId, Program
+
+    builder = ClassFileBuilder("W")
+    builder.add_method("main", "()V", assemble("return"))
+    builder.add_method("unused", "()V", assemble("return"))
+    program = Program(
+        classes=[builder.build()],
+        entry_point=MethodId("W", "main"),
+    )
+    return str(save_program(program, tmp_path / "warn"))
+
+
+def test_lint_fail_on_thresholds(tmp_path, capsys):
+    directory = _dead_method_program(tmp_path)
+    # Warnings (dead-method) but no errors: default threshold passes.
+    assert main(["lint", directory]) == 0
+    out = capsys.readouterr().out
+    assert "dead-method" in out
+    # Tightening the threshold turns the same findings into failures.
+    assert main(["lint", directory, "--fail-on", "warning"]) == 1
+    capsys.readouterr()
+    assert main(["lint", directory, "--fail-on", "note"]) == 1
+    capsys.readouterr()
+
+
+def test_lint_fail_on_note_passes_on_findingless_run(stored, capsys):
+    directory, trace = stored
+    code = main(
+        ["lint", directory, "--trace", trace, "--fail-on", "note"]
+    )
+    out = capsys.readouterr().out
+    if "findings: none" in out:
+        assert code == 0
+    else:
+        assert code == 1
+
+
+def test_interproc_summary(stored, capsys):
+    directory, _ = stored
+    assert main(["interproc", directory]) == 0
+    out = capsys.readouterr().out
+    assert "reachable:         5/5 methods (0 dead)" in out
+    assert "monomorphic" in out
+
+
+def test_interproc_json(stored, tmp_path, capsys):
+    import json
+
+    directory, _ = stored
+    target = tmp_path / "interproc.json"
+    assert main(["interproc", directory, "--json", str(target)]) == 0
+    payload = json.loads(target.read_text())
+    assert payload["dead"] == 0
+    assert payload["reachable"] == 5
+    assert payload["monomorphic_sites"] == payload["feasible_sites"]
+    assert payload["prune_bytes_saved"] == 0
+    assert payload["top_edges"]
+    capsys.readouterr()
+
+
+def test_interproc_requires_exactly_one_source(stored, capsys):
+    directory, _ = stored
+    assert main(["interproc"]) == 2
+    assert main(["interproc", directory, "--workload", "Hanoi"]) == 2
+    capsys.readouterr()
